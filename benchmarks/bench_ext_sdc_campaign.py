@@ -1,0 +1,58 @@
+"""Extension C — architectural fault campaign: life without REESE.
+
+Runs the emulator-level injection campaign on each proxy benchmark and
+reports the outcome distribution (masked / SDC / crash / hang).  This
+is the motivation side of the paper: on a machine without detection,
+soft errors silently corrupt results or crash the program.
+"""
+
+from conftest import publish
+
+from repro.harness import format_table
+from repro.harness.campaign import run_campaign
+from repro.workloads import BENCHMARK_ORDER, BENCHMARKS
+
+RUNS = 25
+RATE = 2e-3
+
+
+def run_all():
+    results = {}
+    for name in BENCHMARK_ORDER:
+        program = BENCHMARKS[name].build(scale=4000)
+        results[name] = run_campaign(
+            program, runs=RUNS, rate=RATE, seed=101, max_instructions=400_000
+        )
+    return results
+
+
+def test_sdc_campaign_without_reese(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = [["benchmark", "runs", "masked", "sdc", "crash", "hang",
+              "clean"]]
+    for name in BENCHMARK_ORDER:
+        campaign = results[name]
+        outcome = campaign.outcomes
+        table.append([
+            name, str(campaign.runs),
+            str(outcome.get("masked", 0)), str(outcome.get("sdc", 0)),
+            str(outcome.get("crash", 0)), str(outcome.get("hang", 0)),
+            str(outcome.get("clean", 0)),
+        ])
+    publish(
+        "ext_sdc_campaign",
+        "Extension C: architectural fault campaign (no REESE)\n"
+        + format_table(table),
+    )
+    # Across the suite, injection must surface real failures: at least
+    # a quarter of struck runs end in SDC or crash somewhere.
+    total_bad = sum(
+        results[n].outcomes.get("sdc", 0) + results[n].outcomes.get("crash", 0)
+        for n in BENCHMARK_ORDER
+    )
+    total_struck = sum(
+        results[n].runs - results[n].outcomes.get("clean", 0)
+        for n in BENCHMARK_ORDER
+    )
+    assert total_struck > 0
+    assert total_bad / total_struck > 0.25

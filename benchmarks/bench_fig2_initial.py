@@ -1,0 +1,24 @@
+"""Figure 2 — initial comparison between REESE and the baseline.
+
+Starting configuration (Table 1), five series (Baseline, REESE, R+1
+ALU, R+2 ALU, R+2 ALU + 1 Mult), six benchmarks plus the AVG group.
+Paper shape: REESE trails the baseline by 11-16 % on average; spare
+ALUs recover most of the loss; vortex shows no penalty; ijpeg benefits
+from the spare multiplier.
+"""
+
+from conftest import get_figure, publish
+
+from repro.harness import figure_report
+from repro.harness.expectations import check_figure2, check_spares_monotonic
+
+
+def test_figure2_initial_comparison(benchmark):
+    result = benchmark.pedantic(
+        lambda: get_figure("fig2"), rounds=1, iterations=1
+    )
+    checks = check_figure2(result) + check_spares_monotonic(result)
+    report = figure_report(result) + "\n\n" + "\n".join(map(str, checks))
+    publish("fig2_initial", report)
+    failures = [check for check in checks if not check.passed]
+    assert not failures, "\n".join(map(str, failures))

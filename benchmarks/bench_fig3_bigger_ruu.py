@@ -1,0 +1,28 @@
+"""Figure 3 — RUU size 32 and LSQ size 16.
+
+Doubling the window raises both models' IPC; the REESE gap stays in
+the paper's band and spare elements still close it.
+"""
+
+from conftest import get_figure, publish
+
+from repro.harness import SERIES_R2A, SERIES_REESE, figure_report
+from repro.harness.expectations import check_spares_monotonic
+
+
+def test_figure3_bigger_window(benchmark):
+    result = benchmark.pedantic(
+        lambda: get_figure("fig3"), rounds=1, iterations=1
+    )
+    fig2 = get_figure("fig2")
+    checks = check_spares_monotonic(result)
+    report = figure_report(result) + "\n\n" + "\n".join(map(str, checks))
+    publish("fig3_bigger_ruu", report)
+
+    # The larger window must raise baseline IPC vs fig2 (the paper's
+    # point in growing the RUU/LSQ) ...
+    assert result.average_ipc("Baseline") > fig2.average_ipc("Baseline")
+    # ... while REESE still trails and spares still help.
+    assert result.gap(SERIES_REESE) > 0.05
+    assert result.gap(SERIES_R2A) < result.gap(SERIES_REESE)
+    assert not [c for c in checks if not c.passed]

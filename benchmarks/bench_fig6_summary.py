@@ -1,0 +1,24 @@
+"""Figure 6 — summary of results.
+
+Average IPC per hardware variation (None, RUU/LSQ 2X, execution width
+2X, memory ports 2X) for baseline / REESE / REESE+2ALU — the paper's
+bar-group summary of Figures 2-5.
+"""
+
+from conftest import publish
+
+from repro.harness import run_summary_figure, summary_report
+from repro.harness.expectations import check_summary
+
+
+def test_figure6_summary(benchmark):
+    summary = benchmark.pedantic(run_summary_figure, rounds=1, iterations=1)
+    checks = check_summary(summary)
+    report = (
+        "fig6: summary of results (average IPC per hardware variation)\n"
+        + summary_report(summary)
+        + "\n\n"
+        + "\n".join(map(str, checks))
+    )
+    publish("fig6_summary", report)
+    assert not [check for check in checks if not check.passed]

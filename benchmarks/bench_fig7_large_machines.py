@@ -1,0 +1,29 @@
+"""Figure 7 — REESE vs. baseline for even more hardware.
+
+Order, as in the paper: RUU=64, RUU=64 + extra FUs, RUU=256, RUU=256 +
+extra FUs.  Paper shape: the gap "remains at approximately 15% when
+only the RUU is increased in size.  However, additional functional
+units shrink this difference to about 1.5%."
+"""
+
+from conftest import get_figure, publish
+
+from repro.harness import figure_report
+from repro.harness.expectations import check_figure7
+
+FIG7_IDS = ["fig7-ruu64", "fig7-ruu64+fus", "fig7-ruu256", "fig7-ruu256+fus"]
+
+
+def test_figure7_large_machines(benchmark):
+    results = benchmark.pedantic(
+        lambda: {figure_id: get_figure(figure_id) for figure_id in FIG7_IDS},
+        rounds=1,
+        iterations=1,
+    )
+    checks = check_figure7(results)
+    report = "\n\n".join(
+        figure_report(results[figure_id]) for figure_id in FIG7_IDS
+    )
+    report += "\n\n" + "\n".join(map(str, checks))
+    publish("fig7_large_machines", report)
+    assert not [check for check in checks if not check.passed]

@@ -1,0 +1,46 @@
+"""Simulator throughput — the one bench about *our* code, not the paper.
+
+Measures functional-emulation and cycle-simulation speed so regressions
+in the hot loops are visible.  pytest-benchmark runs these several
+times (unlike the single-shot figure benches).
+"""
+
+import pytest
+
+from repro.arch import emulate
+from repro.uarch import Pipeline, starting_config
+from repro.workloads.suite import trace_for
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return trace_for("vortex", scale=6000)
+
+
+def test_emulator_throughput(benchmark, workload):
+    program, trace = workload
+
+    result = benchmark(
+        lambda: emulate(program, max_instructions=100_000,
+                        collect_trace=False)
+    )
+    assert result.halted
+    benchmark.extra_info["instructions"] = result.instructions
+
+
+def test_baseline_pipeline_throughput(benchmark, workload):
+    program, trace = workload
+    config = starting_config()
+
+    stats = benchmark(lambda: Pipeline(program, trace, config).run())
+    assert stats.committed == len(trace)
+    benchmark.extra_info["cycles"] = stats.cycles
+
+
+def test_reese_pipeline_throughput(benchmark, workload):
+    program, trace = workload
+    config = starting_config().with_reese()
+
+    stats = benchmark(lambda: Pipeline(program, trace, config).run())
+    assert stats.committed == len(trace)
+    benchmark.extra_info["cycles"] = stats.cycles

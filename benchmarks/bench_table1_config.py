@@ -1,0 +1,59 @@
+"""Table 1 — the starting simulator configuration.
+
+Regenerates the paper's Table 1 as a text table from the actual
+:func:`repro.uarch.starting_config` preset (so the bench fails if the
+preset ever drifts from the paper), and times machine construction.
+"""
+
+from conftest import publish
+
+from repro.harness import format_table
+from repro.uarch import FUPool, Pipeline, starting_config
+from repro.memhier import MemoryHierarchy
+
+
+def _table1_rows(config):
+    mem = config.mem
+    return [
+        ["parameter", "value"],
+        ["Fetch Queue Size", str(config.fetch_queue_size)],
+        ["Max IPC for Other Pipeline Stages", str(config.issue_width)],
+        ["RUU / LSQ", f"{config.ruu_size} / {config.lsq_size}"],
+        ["Functional Units",
+         f"{config.int_alu} IntAdd, {config.int_mult} IntM/D, same for FP"],
+        ["Memory Ports", str(config.mem_ports)],
+        ["L1 Data Cache",
+         f"{mem.l1d.size // 1024} KB, {mem.l1d.assoc}-way, "
+         f"{mem.l1d.hit_latency}-cycle hit time"],
+        ["L2 Cache",
+         f"{mem.l2.size // 1024} KB, {mem.l2.assoc}-way, "
+         f"{mem.l2.hit_latency}-cycle hit time"],
+        ["L1 Inst. Cache",
+         f"{mem.l1i.size // 1024} KB, {mem.l1i.assoc}-way, "
+         f"{mem.l1i.hit_latency}-cycle hit time"],
+        ["L2 Inst. Cache", "Shared w/ D-cache"],
+        ["Branch Predictor", config.predictor],
+        ["Registers", "32 GP, 32 FP"],
+    ]
+
+
+def test_table1_starting_configuration(benchmark):
+    config = starting_config()
+
+    def build_machine():
+        # Time the cost of standing up one simulated machine.
+        return (MemoryHierarchy(config.mem), FUPool(config))
+
+    benchmark(build_machine)
+
+    rows = _table1_rows(config)
+    publish("table1_config", "Table 1: starting configuration\n"
+            + format_table(rows))
+
+    # Pin the paper's values.
+    assert config.fetch_queue_size == 16
+    assert config.issue_width == 8
+    assert (config.ruu_size, config.lsq_size) == (16, 8)
+    assert (config.int_alu, config.int_mult) == (4, 1)
+    assert config.mem_ports == 2
+    assert config.predictor == "gshare"

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Design-space exploration: the paper's central question.
+
+"How much spare hardware is needed to decrease the fault-tolerance
+overhead to zero?"  Sweeps every (spare ALU, spare multiplier)
+combination of a REESE machine over the benchmark suite and prints the
+average-IPC grid, marking the cheapest configuration within 2% of the
+baseline.
+
+Run:  python examples/spare_capacity_sweep.py [scale]
+"""
+
+import sys
+
+from repro.harness import run_sweep, spare_capacity_grid
+from repro.uarch import starting_config
+
+MAX_ALU = 3
+MAX_MULT = 1
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
+    base_config = starting_config()
+    points = spare_capacity_grid(base_config, max_alu=MAX_ALU,
+                                 max_mult=MAX_MULT)
+    print(f"sweeping {len(points)} configurations "
+          f"({scale} instructions x 6 benchmarks each)...")
+    results = run_sweep(points, scale=scale)
+    baseline_ipc = results[0].average_ipc
+
+    print()
+    print(f"baseline average IPC: {baseline_ipc:.3f}")
+    print()
+    header = "spare ALUs ->" + "".join(f"{a:>10d}" for a in range(MAX_ALU + 1))
+    print(header)
+    by_label = {point.label: point for point in results}
+    best = None
+    for mult in range(MAX_MULT + 1):
+        cells = []
+        for alu in range(MAX_ALU + 1):
+            point = by_label[f"reese+{alu}alu+{mult}mult"]
+            gap = 1 - point.average_ipc / baseline_ipc
+            cells.append(f"{gap:>+9.1%}")
+            if gap <= 0.02 and best is None:
+                best = (alu, mult, gap)
+        print(f"+{mult} mult     " + "".join(cells))
+
+    print()
+    if best:
+        alu, mult, gap = best
+        print(f"cheapest configuration within 2% of baseline: "
+              f"+{alu} ALUs, +{mult} mult/div ({gap:+.1%})")
+        print("(the paper lands on +2 integer ALUs as the sweet spot)")
+    else:
+        print("no swept configuration reached the 2% target; "
+              "try a larger grid")
+
+
+if __name__ == "__main__":
+    main()

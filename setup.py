@@ -1,0 +1,8 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+Allows `pip install -e . --no-build-isolation` (legacy editable path) when
+PEP 517 editable builds are unavailable; configuration lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,16 @@
+"""Reference architectural machine: memory, emulator, dynamic traces."""
+
+from .emulator import EmulationResult, Emulator, EmulatorError, emulate
+from .memory import Memory, MisalignedAccessError
+from .trace import DynInst, Trace
+
+__all__ = [
+    "EmulationResult",
+    "Emulator",
+    "EmulatorError",
+    "emulate",
+    "Memory",
+    "MisalignedAccessError",
+    "DynInst",
+    "Trace",
+]

@@ -1,0 +1,326 @@
+"""In-order functional emulator — the architectural oracle.
+
+The emulator executes a :class:`~repro.isa.program.Program` with exact
+ISA semantics and produces
+
+* the final architectural state (registers, memory, output channel), and
+* optionally the **dynamic trace** (:class:`~repro.arch.trace.DynInst`
+  records) that drives the cycle-level timing models.
+
+It is deliberately simple and strictly in order: it is the reference
+against which both the baseline and REESE timing models are validated
+(every timing simulation must commit exactly the instructions of this
+trace, in this order), and the substrate for architectural fault-
+injection campaigns (silent-data-corruption studies on a machine
+*without* REESE).
+
+Fault injection hooks: an ``inject`` callable, when provided, is invoked
+with each :class:`DynInst` *after* its results are computed and *before*
+they are committed architecturally.  The hook may mutate ``result``,
+``store_value``, ``taken`` and ``target_index`` to model a soft error;
+the emulator then commits the corrupted values, faithfully propagating
+the error through the remainder of the program.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from ..isa.instructions import INST_SIZE, Instruction, Op, OPINFO, FUClass
+from ..isa.program import Program, STACK_BASE, TEXT_BASE
+from ..isa.registers import NUM_REGS, REG_SP
+from ..isa.semantics import branch_taken, compute, to_i32
+from .memory import Memory
+from .trace import DynInst, Trace
+
+Value = Union[int, float]
+
+# Internal execution categories, precomputed per static instruction.
+_CAT_NOP = 0
+_CAT_COMPUTE = 1
+_CAT_LOAD = 2
+_CAT_STORE = 3
+_CAT_COND_BRANCH = 4
+_CAT_JUMP = 5
+_CAT_JUMP_REG = 6
+_CAT_HALT = 7
+_CAT_PUT = 8
+
+
+class EmulatorError(Exception):
+    """Raised when a program performs an illegal action (bad PC, etc.)."""
+
+
+class EmulationResult:
+    """Outcome of one emulator run."""
+
+    def __init__(
+        self,
+        program: Program,
+        regs: List[Value],
+        memory: Memory,
+        output: List[int],
+        trace: Optional[Trace],
+        halted: bool,
+        instructions: int,
+    ) -> None:
+        self.program = program
+        self.regs = regs
+        self.memory = memory
+        self.output = output
+        self.trace = trace
+        #: True if the program reached ``halt`` (vs. hitting the instruction cap).
+        self.halted = halted
+        #: Number of instructions retired.
+        self.instructions = instructions
+
+    @property
+    def int_regs(self) -> List[int]:
+        """The 32 integer registers."""
+        return self.regs[:32]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        status = "halted" if self.halted else "capped"
+        return (
+            f"<EmulationResult {self.program.name!r}: "
+            f"{self.instructions} insts, {status}>"
+        )
+
+
+def _decode_program(program: Program):
+    """Precompute per-instruction dispatch tuples for the hot loop."""
+    decoded = []
+    for inst in program.code:
+        info = OPINFO[inst.op]
+        if info.is_halt:
+            cat = _CAT_HALT
+        elif inst.op in (Op.PUTINT, Op.PUTCH):
+            cat = _CAT_PUT
+        elif info.is_load:
+            cat = _CAT_LOAD
+        elif info.is_store:
+            cat = _CAT_STORE
+        elif info.is_cond_branch:
+            cat = _CAT_COND_BRANCH
+        elif inst.op in (Op.J, Op.JAL):
+            cat = _CAT_JUMP
+        elif inst.op in (Op.JR, Op.JALR):
+            cat = _CAT_JUMP_REG
+        elif inst.op is Op.NOP:
+            cat = _CAT_NOP
+        else:
+            cat = _CAT_COMPUTE
+        decoded.append((cat, inst, info))
+    return decoded
+
+
+class Emulator:
+    """Functional executor for mini-ISA programs."""
+
+    def __init__(
+        self,
+        program: Program,
+        max_instructions: int = 2_000_000,
+        inject: Optional[Callable[[DynInst], None]] = None,
+    ) -> None:
+        self.program = program
+        self.max_instructions = max_instructions
+        self.inject = inject
+
+    def run(self, collect_trace: bool = True) -> EmulationResult:
+        """Execute the program from its first instruction.
+
+        Args:
+            collect_trace: when True (the default), build the dynamic
+                trace used by the timing models; turn off for pure
+                architectural runs (fault campaigns) to save memory.
+
+        Returns:
+            An :class:`EmulationResult`.
+
+        Raises:
+            EmulatorError: on a jump outside the text segment.
+        """
+        program = self.program
+        code = program.code
+        decoded = _decode_program(program)
+        n_code = len(code)
+
+        regs: List[Value] = [0] * NUM_REGS
+        for fp_index in range(32, NUM_REGS):
+            regs[fp_index] = 0.0
+        regs[REG_SP] = STACK_BASE
+        memory = Memory(program.data)
+        output: List[int] = []
+        trace: Optional[Trace] = [] if collect_trace else None
+        inject = self.inject
+
+        idx = 0
+        retired = 0
+        halted = False
+        max_insts = self.max_instructions
+
+        while retired < max_insts:
+            if not 0 <= idx < n_code:
+                raise EmulatorError(
+                    f"control transferred outside text segment: index {idx}"
+                )
+            cat, inst, info = decoded[idx]
+            op = inst.op
+            rs1 = inst.rs1
+            rs2 = inst.rs2
+            a = regs[rs1] if rs1 >= 0 else 0
+            b = regs[rs2] if rs2 >= 0 else 0
+            imm = inst.imm
+
+            dyn: Optional[DynInst] = None
+            if trace is not None or inject is not None:
+                dyn = DynInst()
+                dyn.seq = retired
+                dyn.static_index = idx
+                dyn.pc = TEXT_BASE + idx * INST_SIZE
+                dyn.op = op
+                dyn.fu = info.fu
+                dyn.dst = inst.dst()
+                dyn.srcs = inst.srcs()
+                dyn.a = a
+                dyn.b = b
+                dyn.imm = imm
+
+            next_idx = idx + 1
+
+            if cat == _CAT_COMPUTE:
+                result = compute(op, a, b, imm)
+                if dyn is not None:
+                    dyn.result = result
+                    if inject is not None:
+                        inject(dyn)
+                        result = dyn.result
+                if inst.rd > 0:
+                    regs[inst.rd] = result
+            elif cat == _CAT_LOAD:
+                ea = (a + imm) & 0xFFFFFFFF
+                if op is Op.LW:
+                    result = memory.load_word(ea)
+                elif op is Op.LB:
+                    result = memory.load_byte(ea, signed=True)
+                elif op is Op.LBU:
+                    result = memory.load_byte(ea, signed=False)
+                else:  # LWF
+                    result = memory.load_float(ea)
+                if dyn is not None:
+                    dyn.is_load = True
+                    dyn.ea = ea
+                    dyn.result = result
+                    if inject is not None:
+                        inject(dyn)
+                        result = dyn.result
+                if inst.rd > 0:
+                    regs[inst.rd] = result
+            elif cat == _CAT_STORE:
+                ea = (a + imm) & 0xFFFFFFFF
+                value = b
+                if dyn is not None:
+                    dyn.is_store = True
+                    dyn.ea = ea
+                    dyn.store_value = value
+                    if inject is not None:
+                        inject(dyn)
+                        ea = dyn.ea
+                        value = dyn.store_value
+                if op is Op.SW:
+                    memory.store_word(ea, int(value))
+                elif op is Op.SB:
+                    memory.store_byte(ea, int(value))
+                else:  # SWF
+                    memory.store_float(ea, float(value))
+            elif cat == _CAT_COND_BRANCH:
+                taken = branch_taken(op, a, b)
+                target = imm
+                if dyn is not None:
+                    dyn.is_branch = True
+                    dyn.is_cond_branch = True
+                    dyn.taken = taken
+                    dyn.target_index = target
+                    dyn.result = int(taken)
+                    if inject is not None:
+                        inject(dyn)
+                        taken = bool(dyn.taken)
+                        target = dyn.target_index
+                if taken:
+                    next_idx = target
+            elif cat == _CAT_JUMP:
+                target = imm
+                link = TEXT_BASE + (idx + 1) * INST_SIZE
+                if dyn is not None:
+                    dyn.is_branch = True
+                    dyn.taken = True
+                    dyn.target_index = target
+                    if op is Op.JAL:
+                        dyn.result = link
+                    if inject is not None:
+                        inject(dyn)
+                        target = dyn.target_index
+                        if op is Op.JAL and dyn.result is not None:
+                            link = int(dyn.result)
+                if op is Op.JAL and inst.rd > 0:
+                    regs[inst.rd] = link
+                next_idx = target
+            elif cat == _CAT_JUMP_REG:
+                addr = int(a)
+                if addr % INST_SIZE or addr < TEXT_BASE:
+                    raise EmulatorError(f"jr to bad address {addr:#x}")
+                target = (addr - TEXT_BASE) // INST_SIZE
+                link = TEXT_BASE + (idx + 1) * INST_SIZE
+                if dyn is not None:
+                    dyn.is_branch = True
+                    dyn.taken = True
+                    dyn.target_index = target
+                    if op is Op.JALR:
+                        dyn.result = link
+                    if inject is not None:
+                        inject(dyn)
+                        target = dyn.target_index
+                        if op is Op.JALR and dyn.result is not None:
+                            link = int(dyn.result)
+                if op is Op.JALR and inst.rd > 0:
+                    regs[inst.rd] = link
+                next_idx = target
+            elif cat == _CAT_PUT:
+                value = to_i32(int(a))
+                if op is Op.PUTCH:
+                    value &= 0xFF
+                output.append(value)
+                if dyn is not None and inject is not None:
+                    inject(dyn)
+            elif cat == _CAT_HALT:
+                if dyn is not None:
+                    dyn.next_index = idx
+                    if trace is not None:
+                        trace.append(dyn)
+                retired += 1
+                halted = True
+                break
+            # _CAT_NOP: nothing to do.
+
+            if dyn is not None:
+                dyn.next_index = next_idx
+                if trace is not None:
+                    trace.append(dyn)
+            retired += 1
+            idx = next_idx
+
+        return EmulationResult(
+            program, regs, memory, output, trace, halted, retired
+        )
+
+
+def emulate(
+    program: Program,
+    max_instructions: int = 2_000_000,
+    collect_trace: bool = True,
+    inject: Optional[Callable[[DynInst], None]] = None,
+) -> EmulationResult:
+    """Convenience wrapper: run ``program`` on a fresh :class:`Emulator`."""
+    emulator = Emulator(program, max_instructions=max_instructions, inject=inject)
+    return emulator.run(collect_trace=collect_trace)

@@ -1,0 +1,58 @@
+"""Branch prediction: direction predictors, BTB and RAS.
+
+:func:`make_predictor` builds a direction predictor from a
+configuration name, used by :class:`repro.uarch.config.MachineConfig`.
+"""
+
+from __future__ import annotations
+
+from .base import DirectionPredictor
+from .bimodal import BimodalPredictor
+from .btb import BTB, ReturnAddressStack
+from .combining import CombiningPredictor
+from .gshare import GSharePredictor
+from .local import LocalPredictor
+from .simple import PerfectPredictor, StaticPredictor
+
+__all__ = [
+    "DirectionPredictor",
+    "BimodalPredictor",
+    "BTB",
+    "ReturnAddressStack",
+    "CombiningPredictor",
+    "GSharePredictor",
+    "LocalPredictor",
+    "PerfectPredictor",
+    "StaticPredictor",
+    "make_predictor",
+]
+
+
+def make_predictor(kind: str, **kwargs) -> DirectionPredictor:
+    """Construct a direction predictor by name.
+
+    Args:
+        kind: one of ``gshare`` (the paper's predictor), ``bimodal``,
+            ``combining``, ``local``, ``taken``, ``nottaken``,
+            ``perfect``.
+        **kwargs: forwarded to the predictor constructor.
+
+    Raises:
+        ValueError: on an unknown kind.
+    """
+    kind = kind.lower()
+    if kind == "gshare":
+        return GSharePredictor(**kwargs)
+    if kind == "bimodal":
+        return BimodalPredictor(**kwargs)
+    if kind == "combining":
+        return CombiningPredictor(**kwargs)
+    if kind == "local":
+        return LocalPredictor(**kwargs)
+    if kind == "taken":
+        return StaticPredictor(taken=True)
+    if kind == "nottaken":
+        return StaticPredictor(taken=False)
+    if kind == "perfect":
+        return PerfectPredictor()
+    raise ValueError(f"unknown predictor kind: {kind!r}")

@@ -1,0 +1,71 @@
+"""Branch-direction predictor interface.
+
+Predictors are consulted at fetch for conditional branches only;
+unconditional control transfers are handled structurally (direct
+targets come from the instruction word, returns from the RAS, other
+indirect jumps from the BTB).
+
+The interface is deliberately two-phase:
+
+* :meth:`DirectionPredictor.predict` returns the predicted direction
+  for a branch at byte PC ``pc``;
+* :meth:`DirectionPredictor.update` trains the predictor with the
+  resolved outcome.
+
+The timing models call ``update`` immediately after ``predict`` (at
+fetch time, using the trace's ground truth).  This is the standard
+trace-driven "oracle update timing" simplification; it slightly favours
+prediction accuracy but does so identically for the baseline and REESE
+models, so relative comparisons are unaffected.  See DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+class DirectionPredictor(abc.ABC):
+    """Predicts taken/not-taken for conditional branches."""
+
+    def __init__(self) -> None:
+        self.lookups = 0
+        self.correct = 0
+
+    @abc.abstractmethod
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the conditional branch at ``pc``."""
+
+    @abc.abstractmethod
+    def update(self, pc: int, taken: bool) -> None:
+        """Train with the resolved direction of the branch at ``pc``."""
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict, record accuracy, then train; returns the prediction."""
+        prediction = self.predict(pc)
+        self.lookups += 1
+        if prediction == taken:
+            self.correct += 1
+        self.update(pc, taken)
+        return prediction
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of correct direction predictions so far."""
+        return self.correct / self.lookups if self.lookups else 0.0
+
+
+class _Counter2:
+    """Helpers for 2-bit saturating counters packed in lists of ints."""
+
+    WEAK_NOT_TAKEN = 1
+    WEAK_TAKEN = 2
+
+    @staticmethod
+    def is_taken(counter: int) -> bool:
+        return counter >= 2
+
+    @staticmethod
+    def train(counter: int, taken: bool) -> int:
+        if taken:
+            return min(counter + 1, 3)
+        return max(counter - 1, 0)

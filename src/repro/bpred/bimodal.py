@@ -1,0 +1,28 @@
+"""Bimodal predictor: a PC-indexed table of 2-bit saturating counters."""
+
+from __future__ import annotations
+
+from ..isa.instructions import INST_SIZE
+from .base import DirectionPredictor, _Counter2
+
+
+class BimodalPredictor(DirectionPredictor):
+    """Classic 2-bit-counter predictor (Smith, 1981)."""
+
+    def __init__(self, table_size: int = 2048) -> None:
+        if table_size <= 0 or table_size & (table_size - 1):
+            raise ValueError("table_size must be a positive power of two")
+        super().__init__()
+        self.table_size = table_size
+        self._table = [_Counter2.WEAK_NOT_TAKEN] * table_size
+        self._pc_shift = INST_SIZE.bit_length() - 1
+
+    def _index(self, pc: int) -> int:
+        return (pc >> self._pc_shift) & (self.table_size - 1)
+
+    def predict(self, pc: int) -> bool:
+        return _Counter2.is_taken(self._table[self._index(pc)])
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        self._table[index] = _Counter2.train(self._table[index], taken)

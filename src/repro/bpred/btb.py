@@ -1,0 +1,75 @@
+"""Branch target buffer and return-address stack.
+
+Direct branches and jumps carry their targets in the instruction word,
+which the fetch stage can see (equivalent to a perfect BTB for direct
+control transfers — a common simulator simplification, noted in
+DESIGN.md).  The BTB is therefore consulted only for *indirect* jumps
+(``jr``/``jalr``); the RAS predicts returns (``jr ra``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..isa.instructions import INST_SIZE
+
+
+class BTB:
+    """Direct-mapped branch target buffer (PC -> target instruction index)."""
+
+    def __init__(self, entries: int = 512) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        self.entries = entries
+        self._tags: List[int] = [-1] * entries
+        self._targets: List[int] = [0] * entries
+        self._pc_shift = INST_SIZE.bit_length() - 1
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, pc: int) -> Optional[int]:
+        """Predicted target instruction index, or None on a BTB miss."""
+        slot = (pc >> self._pc_shift) & (self.entries - 1)
+        tag = pc >> self._pc_shift
+        if self._tags[slot] == tag:
+            self.hits += 1
+            return self._targets[slot]
+        self.misses += 1
+        return None
+
+    def update(self, pc: int, target_index: int) -> None:
+        """Record the resolved target of the indirect jump at ``pc``."""
+        slot = (pc >> self._pc_shift) & (self.entries - 1)
+        self._tags[slot] = pc >> self._pc_shift
+        self._targets[slot] = target_index
+
+
+class ReturnAddressStack:
+    """A bounded return-address stack predicting ``ret`` targets."""
+
+    def __init__(self, depth: int = 16) -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.depth = depth
+        self._stack: List[int] = []
+        self.pushes = 0
+        self.pops = 0
+        self.overflows = 0
+
+    def push(self, return_index: int) -> None:
+        """Push the return target (instruction index) of a call."""
+        self.pushes += 1
+        if len(self._stack) == self.depth:
+            self.overflows += 1
+            self._stack.pop(0)
+        self._stack.append(return_index)
+
+    def pop(self) -> Optional[int]:
+        """Predicted return target, or None if the stack is empty."""
+        self.pops += 1
+        if self._stack:
+            return self._stack.pop()
+        return None
+
+    def __len__(self) -> int:
+        return len(self._stack)

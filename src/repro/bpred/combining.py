@@ -1,0 +1,54 @@
+"""McFarling combining predictor: bimodal + gshare with a meta chooser."""
+
+from __future__ import annotations
+
+from ..isa.instructions import INST_SIZE
+from .base import DirectionPredictor, _Counter2
+from .bimodal import BimodalPredictor
+from .gshare import GSharePredictor
+
+
+class CombiningPredictor(DirectionPredictor):
+    """Tournament predictor selecting between bimodal and gshare.
+
+    The meta table of 2-bit counters tracks, per PC, which component has
+    been more accurate; the chosen component supplies the prediction and
+    both components train on every branch (McFarling's scheme).
+    """
+
+    def __init__(
+        self,
+        meta_size: int = 4096,
+        bimodal_size: int = 2048,
+        gshare_history: int = 12,
+        gshare_size: int = 4096,
+    ) -> None:
+        if meta_size <= 0 or meta_size & (meta_size - 1):
+            raise ValueError("meta_size must be a positive power of two")
+        super().__init__()
+        self.bimodal = BimodalPredictor(bimodal_size)
+        self.gshare = GSharePredictor(gshare_history, gshare_size)
+        self.meta_size = meta_size
+        # Counter >= 2 selects gshare, < 2 selects bimodal.
+        self._meta = [_Counter2.WEAK_TAKEN] * meta_size
+        self._pc_shift = INST_SIZE.bit_length() - 1
+
+    def _meta_index(self, pc: int) -> int:
+        return (pc >> self._pc_shift) & (self.meta_size - 1)
+
+    def predict(self, pc: int) -> bool:
+        if _Counter2.is_taken(self._meta[self._meta_index(pc)]):
+            return self.gshare.predict(pc)
+        return self.bimodal.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        bimodal_pred = self.bimodal.predict(pc)
+        gshare_pred = self.gshare.predict(pc)
+        index = self._meta_index(pc)
+        if bimodal_pred != gshare_pred:
+            # Train the chooser towards the component that was right.
+            self._meta[index] = _Counter2.train(
+                self._meta[index], gshare_pred == taken
+            )
+        self.bimodal.update(pc, taken)
+        self.gshare.update(pc, taken)

@@ -1,0 +1,45 @@
+"""gshare predictor (McFarling, DEC WRL TN-36) — the paper's predictor.
+
+A global branch-history register is XORed with the branch PC to index a
+table of 2-bit saturating counters.  The REESE starting configuration
+(Table 1) cites "gshare, from [26]"; we default to 12 bits of history
+over a 4096-entry table, a typical configuration for that sizing era.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import INST_SIZE
+from .base import DirectionPredictor, _Counter2
+
+
+class GSharePredictor(DirectionPredictor):
+    """Global-history XOR-indexed two-bit-counter predictor."""
+
+    def __init__(self, history_bits: int = 12, table_size: int = 4096) -> None:
+        if table_size <= 0 or table_size & (table_size - 1):
+            raise ValueError("table_size must be a positive power of two")
+        if history_bits <= 0 or (1 << history_bits) > table_size * 16:
+            raise ValueError("history_bits out of range")
+        super().__init__()
+        self.history_bits = history_bits
+        self.table_size = table_size
+        self._history = 0
+        self._history_mask = (1 << history_bits) - 1
+        self._table = [_Counter2.WEAK_NOT_TAKEN] * table_size
+        self._pc_shift = INST_SIZE.bit_length() - 1
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> self._pc_shift) ^ self._history) & (self.table_size - 1)
+
+    def predict(self, pc: int) -> bool:
+        return _Counter2.is_taken(self._table[self._index(pc)])
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        self._table[index] = _Counter2.train(self._table[index], taken)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+    @property
+    def history(self) -> int:
+        """Current global-history register value (for tests)."""
+        return self._history

@@ -1,0 +1,62 @@
+"""Two-level local-history predictor (PAg, Yeh & Patt).
+
+A per-branch history table records each static branch's recent
+directions; the pattern indexes a shared table of 2-bit counters.
+Where gshare captures *global* correlation, PAg captures self-history
+(loops with fixed trip counts, alternating branches private to one
+site).  Included for predictor ablations alongside the paper's gshare.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import INST_SIZE
+from .base import DirectionPredictor, _Counter2
+
+
+class LocalPredictor(DirectionPredictor):
+    """PAg: per-branch history, shared pattern table."""
+
+    def __init__(
+        self,
+        history_bits: int = 10,
+        history_entries: int = 1024,
+        pattern_entries: int = 1024,
+    ) -> None:
+        if history_entries <= 0 or history_entries & (history_entries - 1):
+            raise ValueError("history_entries must be a positive power of two")
+        if pattern_entries <= 0 or pattern_entries & (pattern_entries - 1):
+            raise ValueError("pattern_entries must be a positive power of two")
+        if not 0 < history_bits <= 20:
+            raise ValueError("history_bits out of range")
+        super().__init__()
+        self.history_bits = history_bits
+        self.history_entries = history_entries
+        self.pattern_entries = pattern_entries
+        self._histories = [0] * history_entries
+        self._patterns = [_Counter2.WEAK_NOT_TAKEN] * pattern_entries
+        self._history_mask = (1 << history_bits) - 1
+        self._pc_shift = INST_SIZE.bit_length() - 1
+
+    def _history_index(self, pc: int) -> int:
+        return (pc >> self._pc_shift) & (self.history_entries - 1)
+
+    def _pattern_index(self, pc: int) -> int:
+        history = self._histories[self._history_index(pc)]
+        return history & (self.pattern_entries - 1)
+
+    def predict(self, pc: int) -> bool:
+        return _Counter2.is_taken(self._patterns[self._pattern_index(pc)])
+
+    def update(self, pc: int, taken: bool) -> None:
+        pattern_index = self._pattern_index(pc)
+        self._patterns[pattern_index] = _Counter2.train(
+            self._patterns[pattern_index], taken
+        )
+        history_index = self._history_index(pc)
+        self._histories[history_index] = (
+            (self._histories[history_index] << 1) | int(taken)
+        ) & self._history_mask
+
+    def history_for(self, pc: int) -> int:
+        """Current local history of the branch at ``pc`` (for tests)."""
+        return self._histories[self._history_index(pc)]

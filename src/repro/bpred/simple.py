@@ -1,0 +1,42 @@
+"""Trivial direction predictors: static and oracle, for ablations."""
+
+from __future__ import annotations
+
+from .base import DirectionPredictor
+
+
+class StaticPredictor(DirectionPredictor):
+    """Always predicts the same direction (default: taken)."""
+
+    def __init__(self, taken: bool = True) -> None:
+        super().__init__()
+        self.direction = taken
+
+    def predict(self, pc: int) -> bool:
+        return self.direction
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+
+class PerfectPredictor(DirectionPredictor):
+    """Oracle predictor: the timing model primes it with the outcome.
+
+    The pipeline's fetch stage calls :meth:`prime` with the trace's
+    ground-truth direction immediately before ``predict``; this models a
+    machine with no direction mispredictions, used to isolate the cost
+    of REESE from branch effects in ablation studies.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._next: bool = False
+
+    def prime(self, taken: bool) -> None:
+        self._next = taken
+
+    def predict(self, pc: int) -> bool:
+        return self._next
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass

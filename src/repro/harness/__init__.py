@@ -1,0 +1,53 @@
+"""Experiment harness: runners, figure specs, reporting, expectations."""
+
+from .experiments import (
+    FIGURES,
+    FigureResult,
+    FigureSpec,
+    SERIES_BASELINE,
+    SERIES_R1A,
+    SERIES_R2A,
+    SERIES_R2A1M,
+    SERIES_REESE,
+    figure2_spec,
+    figure3_spec,
+    figure4_spec,
+    figure5_spec,
+    figure7_specs,
+    run_figure,
+    run_summary_figure,
+)
+from .expectations import Expectation, check_all
+from .reporting import figure_report, format_table, overhead_summary, summary_report
+from .runner import bench_scale, run_benchmark, run_model
+from .sweep import SweepPoint, run_sweep, spare_capacity_grid
+
+__all__ = [
+    "FIGURES",
+    "FigureResult",
+    "FigureSpec",
+    "SERIES_BASELINE",
+    "SERIES_R1A",
+    "SERIES_R2A",
+    "SERIES_R2A1M",
+    "SERIES_REESE",
+    "figure2_spec",
+    "figure3_spec",
+    "figure4_spec",
+    "figure5_spec",
+    "figure7_specs",
+    "run_figure",
+    "run_summary_figure",
+    "Expectation",
+    "check_all",
+    "figure_report",
+    "format_table",
+    "overhead_summary",
+    "summary_report",
+    "bench_scale",
+    "run_benchmark",
+    "run_model",
+    "SweepPoint",
+    "run_sweep",
+    "spare_capacity_grid",
+]

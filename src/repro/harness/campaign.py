@@ -1,0 +1,108 @@
+"""Architectural fault-injection campaigns (extension C in DESIGN.md).
+
+Runs a program repeatedly on the *functional emulator* while injecting
+single-bit faults, and classifies each run's architectural outcome —
+the classic dependability-benchmarking taxonomy:
+
+=========  =============================================================
+masked      a fault struck but the program's outputs and memory match
+            the golden run (the error was logically masked);
+sdc         silent data corruption: outputs or final memory differ;
+crash       the corrupted value caused an architectural exception
+            (misaligned access, wild jump) — a detected-by-accident
+            failure;
+hang        the program exceeded its instruction budget;
+clean       no fault struck this run.
+=========  =============================================================
+
+This is the "machine without REESE" side of the reproduction's fault
+study; the timing-level REESE campaign (detection/recovery) lives in
+the pipeline itself via :class:`repro.reese.faults.FaultModel`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..arch.emulator import EmulatorError, emulate
+from ..arch.memory import MisalignedAccessError
+from ..isa.program import Program
+from ..reese.faults import make_emulator_injector
+
+#: Outcome labels in severity order.
+OUTCOMES = ("clean", "masked", "sdc", "crash", "hang")
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcome counts of an injection campaign."""
+
+    program_name: str
+    runs: int
+    rate: float
+    outcomes: Counter = field(default_factory=Counter)
+    injections: int = 0
+
+    @property
+    def sdc_fraction(self) -> float:
+        struck = self.runs - self.outcomes["clean"]
+        return self.outcomes["sdc"] / struck if struck else 0.0
+
+    def report(self) -> str:
+        lines = [
+            f"fault campaign on {self.program_name!r}: "
+            f"{self.runs} runs, per-instruction rate {self.rate:g}, "
+            f"{self.injections} total injections",
+        ]
+        for outcome in OUTCOMES:
+            count = self.outcomes.get(outcome, 0)
+            lines.append(f"  {outcome:7s} {count:5d} ({count / self.runs:.0%})")
+        return "\n".join(lines)
+
+
+def run_campaign(
+    program: Program,
+    runs: int = 50,
+    rate: float = 1e-3,
+    seed: int = 0,
+    max_instructions: int = 200_000,
+) -> CampaignResult:
+    """Inject faults over ``runs`` emulations and classify outcomes.
+
+    Args:
+        program: the workload (must normally halt within the budget).
+        runs: number of injected runs.
+        rate: per-instruction bit-flip probability.
+        seed: base RNG seed; run ``i`` uses ``seed + i``.
+        max_instructions: hang-detection budget.
+    """
+    golden = emulate(program, max_instructions=max_instructions,
+                     collect_trace=False)
+    if not golden.halted:
+        raise ValueError("golden run did not halt; raise max_instructions")
+    golden_state = (golden.output, golden.memory.snapshot())
+
+    result = CampaignResult(program.name, runs, rate)
+    for run_index in range(runs):
+        hook, log = make_emulator_injector(rate=rate, seed=seed + run_index)
+        try:
+            outcome_run = emulate(
+                program, max_instructions=max_instructions,
+                collect_trace=False, inject=hook,
+            )
+        except (MisalignedAccessError, EmulatorError):
+            result.outcomes["crash"] += 1
+            result.injections += len(log)
+            continue
+        result.injections += len(log)
+        if not log:
+            result.outcomes["clean"] += 1
+        elif not outcome_run.halted:
+            result.outcomes["hang"] += 1
+        elif (outcome_run.output, outcome_run.memory.snapshot()) == golden_state:
+            result.outcomes["masked"] += 1
+        else:
+            result.outcomes["sdc"] += 1
+    return result

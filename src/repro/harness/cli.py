@@ -1,0 +1,232 @@
+"""Command-line entry point (``repro-reese``).
+
+Subcommands::
+
+    repro-reese list                 # figures, benchmarks, configs
+    repro-reese figure fig2          # reproduce one figure
+    repro-reese summary              # Fig. 6 summary table
+    repro-reese fig7                 # Fig. 7 large machines
+    repro-reese check                # run the paper-shape expectations
+    repro-reese bench gcc            # one benchmark on base + REESE
+    repro-reese faults --rate 1e-4   # fault-injection demonstration
+    repro-reese campaign gcc         # architectural SDC campaign
+    repro-reese sweep                # spare-capacity design-space grid
+    repro-reese compare li           # baseline vs REESE vs dispatch-dup
+
+``--scale N`` (or ``REPRO_BENCH_INSTRUCTIONS``) sets dynamic
+instructions per benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..reese.faults import EnvironmentalFaultModel
+from ..uarch.config import starting_config
+from ..workloads.suite import BENCHMARK_ORDER, BENCHMARKS
+from . import expectations, experiments, reporting
+from .runner import bench_scale, run_benchmark
+
+
+def _cmd_list(_args) -> int:
+    print("figures:    fig2 fig3 fig4 fig5 (figure), summary (fig6), fig7")
+    print("benchmarks:", " ".join(BENCHMARK_ORDER))
+    for name in BENCHMARK_ORDER:
+        workload = BENCHMARKS[name]
+        print(f"  {name:7s} {workload.description}")
+        print(f"  {'':7s} (paper input: {workload.paper_input})")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    spec = experiments.FIGURES[args.figure]()
+    result = experiments.run_figure(spec, scale=args.scale)
+    print(reporting.figure_report(result))
+    return 0
+
+
+def _cmd_summary(args) -> int:
+    summary = experiments.run_summary_figure(scale=args.scale)
+    print("fig6: summary of results (average IPC per hardware variation)")
+    print(reporting.summary_report(summary))
+    return 0
+
+
+def _cmd_fig7(args) -> int:
+    for spec in experiments.figure7_specs():
+        result = experiments.run_figure(spec, scale=args.scale)
+        print(reporting.figure_report(result))
+        print()
+    return 0
+
+
+def _cmd_check(args) -> int:
+    fig_results = {}
+    for name in ("fig2", "fig3"):
+        spec = experiments.FIGURES[name]()
+        fig_results[name] = experiments.run_figure(spec, scale=args.scale)
+    for spec in experiments.figure7_specs():
+        fig_results[spec.figure_id] = experiments.run_figure(
+            spec, scale=args.scale
+        )
+    checks = expectations.check_all(fig_results)
+    failed = 0
+    for check in checks:
+        print(check)
+        failed += 0 if check.passed else 1
+    print(f"\n{len(checks) - failed}/{len(checks)} expectations passed")
+    return 1 if failed else 0
+
+
+def _cmd_bench(args) -> int:
+    config = starting_config()
+    base = run_benchmark(args.benchmark, config, scale=args.scale)
+    reese = run_benchmark(args.benchmark, config.with_reese(), scale=args.scale)
+    print(f"{args.benchmark}: baseline {base.summary()}")
+    print(f"{args.benchmark}: reese    {reese.summary()}")
+    print(f"IPC ratio reese/baseline = {reese.ipc / base.ipc:.3f}")
+    return 0
+
+
+def _cmd_faults(args) -> int:
+    config = starting_config().with_reese()
+    model = EnvironmentalFaultModel(
+        rate=args.rate, duration=args.duration, seed=args.seed
+    )
+    stats = run_benchmark(
+        args.benchmark, config, scale=args.scale, fault_model=model
+    )
+    print(f"workload:            {args.benchmark}")
+    print(f"fault events struck: {model.strikes}")
+    print(f"errors detected:     {stats.errors_detected}")
+    print(f"escapes (same event):{stats.errors_undetected_same_event}")
+    print(f"recoveries:          {stats.recoveries}")
+    print(f"final IPC:           {stats.ipc:.3f}")
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from . import export
+
+    spec = experiments.FIGURES[args.figure]()
+    result = experiments.run_figure(spec, scale=args.scale)
+    written = export.write_figure(result, args.out)
+    for fmt, path in written.items():
+        print(f"wrote {fmt}: {path}")
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from ..workloads.suite import BENCHMARKS
+    from .campaign import run_campaign
+
+    program = BENCHMARKS[args.benchmark].build(scale=args.scale or 5000)
+    result = run_campaign(
+        program, runs=args.runs, rate=args.rate, seed=args.seed
+    )
+    print(result.report())
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .reporting import format_table
+    from .sweep import run_sweep, spare_capacity_grid
+
+    base = starting_config()
+    points = spare_capacity_grid(base, max_alu=args.max_alu,
+                                 max_mult=args.max_mult)
+    results = run_sweep(points, scale=args.scale)
+    baseline_ipc = results[0].average_ipc
+    rows = [["configuration", "avg IPC", "gap vs baseline"]]
+    for point in results:
+        gap = 1 - point.average_ipc / baseline_ipc
+        rows.append([point.label, f"{point.average_ipc:.3f}", f"{gap:+.1%}"])
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    config = starting_config()
+    models = [
+        ("baseline", config),
+        ("REESE", config.with_reese()),
+        ("dispatch-dup", config.with_dispatch_dup()),
+    ]
+    base_ipc = None
+    for label, model_config in models:
+        stats = run_benchmark(args.benchmark, model_config, scale=args.scale)
+        if base_ipc is None:
+            base_ipc = stats.ipc
+        gap = 1 - stats.ipc / base_ipc
+        print(f"{label:14s} IPC {stats.ipc:.3f} ({gap:+.1%})  "
+              f"cycles {stats.cycles}  R-execs {stats.issued_r}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-reese",
+        description="REESE (DSN 2001) reproduction harness",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=None,
+        help=f"dynamic instructions per benchmark (default {bench_scale()})",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list figures and benchmarks")
+    fig = sub.add_parser("figure", help="reproduce one figure")
+    fig.add_argument("figure", choices=sorted(experiments.FIGURES))
+    sub.add_parser("summary", help="fig6 summary table")
+    sub.add_parser("fig7", help="fig7 large machines")
+    sub.add_parser("check", help="run paper-shape expectation checks")
+    bench = sub.add_parser("bench", help="run one benchmark")
+    bench.add_argument("benchmark", choices=BENCHMARK_ORDER)
+    faults = sub.add_parser("faults", help="fault-injection demo")
+    faults.add_argument("--benchmark", default="gcc", choices=BENCHMARK_ORDER)
+    faults.add_argument("--rate", type=float, default=1e-4)
+    faults.add_argument("--duration", type=int, default=3)
+    faults.add_argument("--seed", type=int, default=2001)
+    campaign = sub.add_parser("campaign", help="architectural SDC campaign")
+    campaign.add_argument("benchmark", choices=BENCHMARK_ORDER)
+    campaign.add_argument("--runs", type=int, default=40)
+    campaign.add_argument("--rate", type=float, default=2e-3)
+    campaign.add_argument("--seed", type=int, default=0)
+    sweep = sub.add_parser("sweep", help="spare-capacity design space")
+    sweep.add_argument("--max-alu", type=int, default=3, dest="max_alu")
+    sweep.add_argument("--max-mult", type=int, default=1, dest="max_mult")
+    compare = sub.add_parser(
+        "compare", help="baseline vs REESE vs dispatch-dup"
+    )
+    compare.add_argument("benchmark", choices=BENCHMARK_ORDER)
+    export_cmd = sub.add_parser("export", help="export a figure (json/csv)")
+    export_cmd.add_argument("figure", choices=sorted(experiments.FIGURES))
+    export_cmd.add_argument("--out", default="results")
+    return parser
+
+
+_HANDLERS = {
+    "list": _cmd_list,
+    "figure": _cmd_figure,
+    "summary": _cmd_summary,
+    "fig7": _cmd_fig7,
+    "check": _cmd_check,
+    "bench": _cmd_bench,
+    "faults": _cmd_faults,
+    "campaign": _cmd_campaign,
+    "sweep": _cmd_sweep,
+    "compare": _cmd_compare,
+    "export": _cmd_export,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""Machine-readable result export (JSON / CSV).
+
+Everything the text reports show can also be exported for downstream
+plotting or archival:
+
+* :func:`stats_to_dict` — one simulation's counters and derived metrics
+  (plain JSON-serialisable types only);
+* :func:`figure_to_dict` / :func:`figure_to_json` — a full figure's
+  IPC grid with averages and gaps;
+* :func:`figure_to_csv` — the same grid as CSV rows;
+* :func:`write_figure` — convenience writer used by the CLI's
+  ``export`` subcommand.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import pathlib
+from typing import Any, Dict
+
+from ..uarch.stats import Stats
+from .experiments import FigureResult, SERIES_BASELINE
+
+
+def stats_to_dict(stats: Stats) -> Dict[str, Any]:
+    """A JSON-safe dict of one run's statistics."""
+    out = stats.to_dict()
+    # Everything is already int/float/bool/str/dict; make sure of it.
+    for key, value in list(out.items()):
+        if isinstance(value, dict):
+            out[key] = {str(k): v for k, v in value.items()}
+    return out
+
+
+def figure_to_dict(result: FigureResult) -> Dict[str, Any]:
+    """A figure's full result grid as a JSON-safe dict."""
+    spec = result.spec
+    cells = {
+        bench: {
+            label: stats_to_dict(result.cells[bench][label])
+            for label in spec.series_labels
+        }
+        for bench in spec.benchmarks
+    }
+    averages = {
+        label: result.average_ipc(label) for label in spec.series_labels
+    }
+    gaps = {
+        label: result.gap(label)
+        for label in spec.series_labels
+        if label != SERIES_BASELINE
+    }
+    return {
+        "figure": spec.figure_id,
+        "title": spec.title,
+        "scale": result.scale,
+        "series": list(spec.series_labels),
+        "benchmarks": list(spec.benchmarks),
+        "average_ipc": averages,
+        "gap_vs_baseline": gaps,
+        "cells": cells,
+    }
+
+
+def figure_to_json(result: FigureResult, indent: int = 2) -> str:
+    """The figure grid as a JSON document."""
+    return json.dumps(figure_to_dict(result), indent=indent, sort_keys=True)
+
+
+def figure_to_csv(result: FigureResult) -> str:
+    """The figure's IPC grid as CSV (benchmark rows, series columns)."""
+    spec = result.spec
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["benchmark"] + list(spec.series_labels))
+    for bench in spec.benchmarks:
+        writer.writerow(
+            [bench]
+            + [f"{result.ipc(bench, label):.4f}"
+               for label in spec.series_labels]
+        )
+    writer.writerow(
+        ["AVG"]
+        + [f"{result.average_ipc(label):.4f}"
+           for label in spec.series_labels]
+    )
+    return buffer.getvalue()
+
+
+def write_figure(
+    result: FigureResult,
+    directory: str,
+    formats: tuple = ("json", "csv"),
+) -> Dict[str, str]:
+    """Write a figure's results to ``directory``; returns path per format."""
+    out_dir = pathlib.Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, str] = {}
+    for fmt in formats:
+        path = out_dir / f"{result.spec.figure_id}.{fmt}"
+        if fmt == "json":
+            path.write_text(figure_to_json(result))
+        elif fmt == "csv":
+            path.write_text(figure_to_csv(result))
+        else:
+            raise ValueError(f"unknown export format: {fmt!r}")
+        written[fmt] = str(path)
+    return written

@@ -1,0 +1,72 @@
+"""Model runner: one simulation = (workload, machine config) -> Stats.
+
+This is the narrow waist between the workloads, the timing models and
+the experiment definitions.  All figure experiments run through
+:func:`run_benchmark`, which
+
+* memoises the workload trace (shared across the 4-5 machine models of
+  a figure),
+* enables cache and predictor warm-up (the paper's 100 M-instruction
+  runs are effectively warm; see DESIGN.md §5), and
+* honours the ``REPRO_BENCH_INSTRUCTIONS`` environment variable so the
+  whole figure suite can be scaled to the machine it runs on.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..arch.trace import Trace
+from ..isa.program import Program
+from ..reese.faults import FaultModel
+from ..uarch.config import MachineConfig
+from ..uarch.pipeline import Pipeline
+from ..uarch.stats import Stats
+from ..workloads.suite import trace_for
+
+#: Default dynamic-instruction target per benchmark run.
+DEFAULT_SCALE = 20_000
+
+
+def bench_scale() -> int:
+    """Dynamic instructions per benchmark (env-overridable)."""
+    value = os.environ.get("REPRO_BENCH_INSTRUCTIONS", "")
+    try:
+        parsed = int(value)
+    except ValueError:
+        return DEFAULT_SCALE
+    return parsed if parsed > 0 else DEFAULT_SCALE
+
+
+def run_model(
+    program: Program,
+    trace: Trace,
+    config: MachineConfig,
+    fault_model: Optional[FaultModel] = None,
+    warm: bool = True,
+    max_cycles: Optional[int] = None,
+) -> Stats:
+    """Simulate one program trace on one machine configuration."""
+    pipeline = Pipeline(
+        program,
+        trace,
+        config,
+        fault_model=fault_model,
+        warm_caches=warm,
+        warm_predictor=warm,
+    )
+    return pipeline.run(max_cycles=max_cycles)
+
+
+def run_benchmark(
+    name: str,
+    config: MachineConfig,
+    scale: Optional[int] = None,
+    seed: Optional[int] = None,
+    fault_model: Optional[FaultModel] = None,
+    warm: bool = True,
+) -> Stats:
+    """Simulate one named benchmark on one machine configuration."""
+    program, trace = trace_for(name, scale or bench_scale(), seed)
+    return run_model(program, trace, config, fault_model=fault_model, warm=warm)

@@ -1,0 +1,72 @@
+"""Parameter-sweep driver for design-space exploration.
+
+Used by the spare-capacity example, the ablation benches and the
+sensitivity studies in EXPERIMENTS.md: run a grid of configuration
+transformations against the benchmark suite and collect average IPC
+(plus any other stat) per grid point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..uarch.config import MachineConfig
+from ..uarch.stats import Stats
+from ..workloads.suite import BENCHMARK_ORDER
+from .runner import bench_scale, run_benchmark
+
+
+@dataclass
+class SweepPoint:
+    """One grid point: a label, its config, and per-benchmark stats."""
+
+    label: str
+    config: MachineConfig
+    stats: Dict[str, Stats]
+
+    @property
+    def average_ipc(self) -> float:
+        values = [s.ipc for s in self.stats.values()]
+        return sum(values) / len(values) if values else 0.0
+
+    def average(self, metric: Callable[[Stats], float]) -> float:
+        values = [metric(s) for s in self.stats.values()]
+        return sum(values) / len(values) if values else 0.0
+
+
+def run_sweep(
+    points: Sequence,
+    benchmarks: Optional[Iterable[str]] = None,
+    scale: Optional[int] = None,
+) -> List[SweepPoint]:
+    """Run a list of (label, config) pairs over the benchmark suite."""
+    benchmarks = list(benchmarks or BENCHMARK_ORDER)
+    scale = scale or bench_scale()
+    results: List[SweepPoint] = []
+    for label, config in points:
+        stats = {
+            bench: run_benchmark(bench, config, scale=scale)
+            for bench in benchmarks
+        }
+        results.append(SweepPoint(label, config, stats))
+    return results
+
+
+def spare_capacity_grid(
+    base: MachineConfig,
+    max_alu: int = 4,
+    max_mult: int = 2,
+) -> List:
+    """The paper's central design question as a grid.
+
+    "How much spare hardware is needed to decrease the fault-tolerance
+    overhead to zero?" — every (spare ALU, spare mult) combination of a
+    REESE machine, preceded by the baseline.
+    """
+    points = [("baseline", base.without_reese())]
+    for alu in range(max_alu + 1):
+        for mult in range(max_mult + 1):
+            label = f"reese+{alu}alu+{mult}mult"
+            points.append((label, base.with_spares(alu, mult).with_reese()))
+    return points

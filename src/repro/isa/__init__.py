@@ -1,0 +1,61 @@
+"""The repro mini-ISA: instruction set, assembler and program model.
+
+Public surface:
+
+* :class:`~repro.isa.instructions.Instruction`, :class:`~repro.isa.instructions.Op`,
+  :class:`~repro.isa.instructions.FUClass` — the static instruction model;
+* :func:`~repro.isa.assembler.assemble` — text assembler;
+* :class:`~repro.isa.program.Program` — assembled program container;
+* :mod:`~repro.isa.semantics` — pure dynamic semantics shared by the
+  P-stream emulator and REESE's R-stream re-execution;
+* :func:`~repro.isa.encoding.encode` / :func:`~repro.isa.encoding.decode`
+  — lossless binary encoding.
+"""
+
+from .assembler import AsmError, Assembler, assemble
+from .encoding import decode, encode
+from .instructions import INST_SIZE, Fmt, FUClass, Instruction, MNEMONICS, Op, OPINFO
+from .program import DATA_BASE, Program, STACK_BASE, TEXT_BASE
+from .registers import (
+    FP_BASE,
+    NO_REG,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    NUM_REGS,
+    REG_RA,
+    REG_SP,
+    REG_ZERO,
+    is_fp_reg,
+    parse_reg,
+    reg_name,
+)
+
+__all__ = [
+    "AsmError",
+    "Assembler",
+    "assemble",
+    "decode",
+    "encode",
+    "INST_SIZE",
+    "Fmt",
+    "FUClass",
+    "Instruction",
+    "MNEMONICS",
+    "Op",
+    "OPINFO",
+    "DATA_BASE",
+    "Program",
+    "STACK_BASE",
+    "TEXT_BASE",
+    "FP_BASE",
+    "NO_REG",
+    "NUM_FP_REGS",
+    "NUM_INT_REGS",
+    "NUM_REGS",
+    "REG_RA",
+    "REG_SP",
+    "REG_ZERO",
+    "is_fp_reg",
+    "parse_reg",
+    "reg_name",
+]

@@ -1,0 +1,368 @@
+"""Two-pass text assembler for the repro mini-ISA.
+
+The assembler turns readable assembly text into a
+:class:`~repro.isa.program.Program`.  It exists so workloads, tests and
+examples can be written as real programs with loops, calls and data
+structures rather than as hand-built instruction lists.
+
+Syntax overview::
+
+    # comment            (';' also starts a comment)
+    .data
+    arr:    .word 5, 12, -3      # 32-bit words, laid out consecutively
+    buf:    .space 64            # N zeroed bytes
+    .text
+    main:
+        la   r1, arr             # load address of a data label
+        li   r2, 3               # load immediate
+    loop:
+        lw   r3, 0(r1)
+        addi r1, r1, 4
+        subi r2, r2, 1
+        bnez r2, loop
+        halt
+
+Labels are resolved in a second pass: text labels become absolute
+instruction indices (stored in ``imm``), data labels become byte
+addresses in the data segment.  Pseudo-instructions (``li``, ``la``,
+``mov``, ``b``, ``beqz``, ``bnez``, ``ble``, ``bgt``, ``neg``, ``not``,
+``subi``, ``call``, ``ret``) expand to exactly one real instruction.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .instructions import Fmt, Instruction, MNEMONICS, Op, OPINFO
+from .program import DATA_BASE, Program
+from .registers import NO_REG, REG_RA, REG_ZERO, parse_reg
+
+
+class AsmError(Exception):
+    """Raised on any assembly syntax or semantic error."""
+
+    def __init__(self, message: str, line_no: Optional[int] = None) -> None:
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+        self.line_no = line_no
+
+
+_LABEL_RE = re.compile(r"^[A-Za-z_.$][A-Za-z0-9_.$]*$")
+_MEM_RE = re.compile(r"^(?P<imm>[^()]*)\((?P<reg>[^()]+)\)$")
+
+
+def _parse_int(token: str, line_no: int) -> int:
+    token = token.strip()
+    try:
+        if len(token) == 3 and token[0] == token[2] == "'":
+            return ord(token[1])
+        return int(token, 0)
+    except ValueError:
+        raise AsmError(f"not an integer: {token!r}", line_no) from None
+
+
+class _PendingInst:
+    """An instruction awaiting label resolution in pass 2."""
+
+    __slots__ = ("op", "rd", "rs1", "rs2", "imm", "label", "label_kind", "line_no")
+
+    def __init__(self, op, rd, rs1, rs2, imm, label, label_kind, line_no):
+        self.op = op
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.imm = imm
+        self.label = label          # unresolved label name or None
+        self.label_kind = label_kind  # 'text' | 'data' | 'any'
+        self.line_no = line_no
+
+
+class Assembler:
+    """Two-pass assembler; use :func:`assemble` for the common case."""
+
+    def __init__(self) -> None:
+        self._text_labels: Dict[str, int] = {}
+        self._data_labels: Dict[str, int] = {}
+        self._pending: List[_PendingInst] = []
+        self._data: Dict[int, int] = {}
+        self._data_cursor = DATA_BASE
+        self._section = ".text"
+
+    # ------------------------------------------------------------------
+    # pass 1: parse lines, collect labels and pending instructions
+    # ------------------------------------------------------------------
+
+    def assemble(self, source: str, name: str = "program") -> Program:
+        """Assemble ``source`` into a :class:`Program`."""
+        for line_no, raw in enumerate(source.splitlines(), start=1):
+            self._parse_line(raw, line_no)
+        code = [self._resolve(p) for p in self._pending]
+        labels = dict(self._text_labels)
+        return Program(code, data=self._data, labels=labels, name=name)
+
+    def _parse_line(self, raw: str, line_no: int) -> None:
+        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        if not line:
+            return
+        # Leading labels (possibly several on one line).
+        while ":" in line:
+            label, rest = line.split(":", 1)
+            label = label.strip()
+            if not _LABEL_RE.match(label):
+                raise AsmError(f"bad label name: {label!r}", line_no)
+            self._define_label(label, line_no)
+            line = rest.strip()
+            if not line:
+                return
+        if line.startswith("."):
+            self._directive(line, line_no)
+        else:
+            self._instruction(line, line_no)
+
+    def _define_label(self, label: str, line_no: int) -> None:
+        if label in self._text_labels or label in self._data_labels:
+            raise AsmError(f"duplicate label: {label!r}", line_no)
+        if self._section == ".text":
+            self._text_labels[label] = len(self._pending)
+        else:
+            self._data_labels[label] = self._data_cursor
+
+    def _directive(self, line: str, line_no: int) -> None:
+        parts = line.split(None, 1)
+        name = parts[0]
+        arg = parts[1] if len(parts) > 1 else ""
+        if name in (".text", ".data"):
+            self._section = name
+            return
+        if self._section != ".data":
+            raise AsmError(f"{name} only allowed in .data section", line_no)
+        if name == ".word":
+            for token in arg.split(","):
+                value = _parse_int(token, line_no)
+                self._data[self._data_cursor] = value
+                self._data_cursor += 4
+        elif name == ".byte":
+            for token in arg.split(","):
+                value = _parse_int(token, line_no) & 0xFF
+                self._poke_byte(value)
+            self._data_cursor = (self._data_cursor + 3) & ~3
+        elif name == ".asciiz":
+            text = arg.strip()
+            if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+                raise AsmError('.asciiz expects a "double-quoted" string',
+                               line_no)
+            try:
+                decoded = text[1:-1].encode().decode("unicode_escape")
+            except UnicodeDecodeError:
+                raise AsmError("bad escape in string literal", line_no) from None
+            for char in decoded.encode("latin-1"):
+                self._poke_byte(char)
+            self._poke_byte(0)
+            self._data_cursor = (self._data_cursor + 3) & ~3
+        elif name == ".space":
+            size = _parse_int(arg, line_no)
+            if size < 0:
+                raise AsmError(".space size must be non-negative", line_no)
+            self._data_cursor += (size + 3) & ~3  # keep word alignment
+        elif name == ".align":
+            power = _parse_int(arg, line_no)
+            align = 1 << power
+            self._data_cursor = (self._data_cursor + align - 1) & ~(align - 1)
+        else:
+            raise AsmError(f"unknown directive: {name}", line_no)
+
+    def _poke_byte(self, value: int) -> None:
+        """Append one byte to the data image (little-endian packing)."""
+        word_addr = self._data_cursor & ~3
+        shift = (self._data_cursor & 3) * 8
+        word = self._data.get(word_addr, 0)
+        self._data[word_addr] = (word & ~(0xFF << shift)) | (value << shift)
+        self._data_cursor += 1
+
+    # ------------------------------------------------------------------
+    # instruction parsing
+    # ------------------------------------------------------------------
+
+    def _instruction(self, line: str, line_no: int) -> None:
+        if self._section != ".text":
+            raise AsmError("instructions only allowed in .text section", line_no)
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = [t.strip() for t in parts[1].split(",")] if len(parts) > 1 else []
+        expanded = self._expand_pseudo(mnemonic, operands, line_no)
+        if expanded is not None:
+            mnemonic, operands = expanded
+        op = MNEMONICS.get(mnemonic)
+        if op is None:
+            raise AsmError(f"unknown mnemonic: {mnemonic!r}", line_no)
+        self._pending.append(self._parse_operands(op, operands, line_no))
+
+    def _expand_pseudo(
+        self, mn: str, ops: List[str], line_no: int
+    ) -> Optional[Tuple[str, List[str]]]:
+        """Rewrite a pseudo-instruction into a real one (1:1 expansion)."""
+        def need(n: int) -> None:
+            if len(ops) != n:
+                raise AsmError(f"{mn} expects {n} operands", line_no)
+
+        if mn == "li":
+            need(2)
+            return "addi", [ops[0], "zero", ops[1]]
+        if mn == "la":
+            need(2)
+            return "addi", [ops[0], "zero", ops[1]]
+        if mn == "mov":
+            need(2)
+            return "or", [ops[0], ops[1], "zero"]
+        if mn == "neg":
+            need(2)
+            return "sub", [ops[0], "zero", ops[1]]
+        if mn == "not":
+            need(2)
+            return "xori", [ops[0], ops[1], "-1"]
+        if mn == "subi":
+            need(3)
+            imm = ops[2]
+            neg = imm[1:] if imm.startswith("-") else "-" + imm
+            return "addi", [ops[0], ops[1], neg]
+        if mn == "b":
+            need(1)
+            return "j", ops
+        if mn == "call":
+            need(1)
+            return "jal", ops
+        if mn == "ret":
+            need(0)
+            return "jr", ["ra"]
+        if mn == "beqz":
+            need(2)
+            return "beq", [ops[0], "zero", ops[1]]
+        if mn == "bnez":
+            need(2)
+            return "bne", [ops[0], "zero", ops[1]]
+        if mn == "ble":
+            need(3)
+            return "bge", [ops[1], ops[0], ops[2]]
+        if mn == "bgt":
+            need(3)
+            return "blt", [ops[1], ops[0], ops[2]]
+        return None
+
+    def _imm_or_label(self, token: str, line_no: int, kind: str):
+        """Return (imm, label, label_kind) for an immediate-or-label token."""
+        token = token.strip()
+        first = token[0] if token else ""
+        if first.isdigit() or first in "-+'":
+            return _parse_int(token, line_no), None, kind
+        if not _LABEL_RE.match(token):
+            raise AsmError(f"bad immediate or label: {token!r}", line_no)
+        return 0, token, kind
+
+    def _parse_operands(self, op: Op, ops: List[str], line_no: int) -> _PendingInst:
+        fmt = OPINFO[op].fmt
+
+        def reg(token: str) -> int:
+            try:
+                return parse_reg(token)
+            except ValueError as exc:
+                raise AsmError(str(exc), line_no) from None
+
+        def need(n: int) -> None:
+            if len(ops) != n:
+                raise AsmError(
+                    f"{OPINFO[op].mnemonic} expects {n} operands, got {len(ops)}",
+                    line_no,
+                )
+
+        rd = rs1 = rs2 = NO_REG
+        imm = 0
+        label = None
+        label_kind = "any"
+
+        if fmt is Fmt.NONE:
+            need(0)
+        elif fmt is Fmt.RRR:
+            need(3)
+            rd, rs1, rs2 = reg(ops[0]), reg(ops[1]), reg(ops[2])
+        elif fmt is Fmt.RRI:
+            need(3)
+            rd, rs1 = reg(ops[0]), reg(ops[1])
+            imm, label, label_kind = self._imm_or_label(ops[2], line_no, "data")
+        elif fmt is Fmt.RI:
+            need(2)
+            rd = reg(ops[0])
+            imm, label, label_kind = self._imm_or_label(ops[1], line_no, "data")
+        elif fmt in (Fmt.MEM_LOAD, Fmt.MEM_STORE):
+            need(2)
+            value_reg = reg(ops[0])
+            match = _MEM_RE.match(ops[1].replace(" ", ""))
+            if not match:
+                raise AsmError(f"bad memory operand: {ops[1]!r}", line_no)
+            rs1 = reg(match.group("reg"))
+            imm_text = match.group("imm") or "0"
+            imm = _parse_int(imm_text, line_no)
+            if fmt is Fmt.MEM_LOAD:
+                rd = value_reg
+            else:
+                rs2 = value_reg
+        elif fmt is Fmt.BRANCH2:
+            need(3)
+            rs1, rs2 = reg(ops[0]), reg(ops[1])
+            imm, label, label_kind = self._imm_or_label(ops[2], line_no, "text")
+        elif fmt is Fmt.BRANCH1:
+            need(2)
+            rs1 = reg(ops[0])
+            imm, label, label_kind = self._imm_or_label(ops[1], line_no, "text")
+        elif fmt is Fmt.JUMP:
+            need(1)
+            imm, label, label_kind = self._imm_or_label(ops[0], line_no, "text")
+            if op is Op.JAL:
+                rd = REG_RA
+        elif fmt is Fmt.JUMP_REG:
+            need(1)
+            rs1 = reg(ops[0])
+        elif fmt is Fmt.RR:
+            need(2)
+            rd, rs1 = reg(ops[0]), reg(ops[1])
+        elif fmt is Fmt.R:
+            need(1)
+            rs1 = reg(ops[0])
+        else:  # pragma: no cover - all formats handled
+            raise AssertionError(f"unhandled format {fmt}")
+
+        return _PendingInst(op, rd, rs1, rs2, imm, label, label_kind, line_no)
+
+    # ------------------------------------------------------------------
+    # pass 2: label resolution
+    # ------------------------------------------------------------------
+
+    def _resolve(self, pending: _PendingInst) -> Instruction:
+        imm = pending.imm
+        if pending.label is not None:
+            label = pending.label
+            if pending.label_kind == "text":
+                if label not in self._text_labels:
+                    raise AsmError(f"undefined code label: {label!r}", pending.line_no)
+                imm = self._text_labels[label]
+            elif pending.label_kind == "data":
+                if label in self._data_labels:
+                    imm = self._data_labels[label]
+                elif label in self._text_labels:
+                    # A code label used as a value (e.g. a function
+                    # pointer loaded with ``la``) yields its byte
+                    # address, the form ``jr``/``jalr`` consume.
+                    from .instructions import INST_SIZE
+                    from .program import TEXT_BASE
+                    imm = TEXT_BASE + self._text_labels[label] * INST_SIZE
+                else:
+                    raise AsmError(f"undefined label: {label!r}", pending.line_no)
+            else:  # pragma: no cover - 'any' currently unused
+                raise AssertionError
+        return Instruction(pending.op, pending.rd, pending.rs1, pending.rs2, imm)
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble mini-ISA assembly text into a :class:`Program`."""
+    return Assembler().assemble(source, name=name)

@@ -1,0 +1,80 @@
+"""Binary encoding of mini-ISA instructions.
+
+Instructions are architecturally 8 bytes (:data:`~repro.isa.instructions.INST_SIZE`),
+mirroring SimpleScalar's PISA whose "32-bit" RISC semantics were likewise
+carried in 64-bit encodings for simplicity of decode.  The layout is:
+
+====== ======= ==========================================================
+bits    field   contents
+====== ======= ==========================================================
+63..56  op      opcode number
+55..48  rd      destination register (unified index + 1; 0 = none)
+47..40  rs1     source register 1     (unified index + 1; 0 = none)
+39..32  rs2     source register 2     (unified index + 1; 0 = none)
+31..0   imm     signed 32-bit immediate / absolute branch target index
+====== ======= ==========================================================
+
+Encoding is lossless: ``decode(encode(inst)) == inst`` for any valid
+instruction, which the property tests verify.
+"""
+
+from __future__ import annotations
+
+from .instructions import Instruction, Op
+from .registers import NO_REG, NUM_REGS
+
+
+def _encode_reg(reg: int) -> int:
+    if reg == NO_REG:
+        return 0
+    if not 0 <= reg < NUM_REGS:
+        raise ValueError(f"register index out of range: {reg}")
+    return reg + 1
+
+
+def _decode_reg(field: int) -> int:
+    return field - 1 if field else NO_REG
+
+
+def encode(inst: Instruction) -> int:
+    """Encode an instruction into its 64-bit binary word.
+
+    Raises:
+        ValueError: if a register index or the immediate does not fit.
+    """
+    imm = inst.imm
+    if not -(2**31) <= imm < 2**31:
+        raise ValueError(f"immediate does not fit in 32 bits: {imm}")
+    word = (
+        (int(inst.op) << 56)
+        | (_encode_reg(inst.rd) << 48)
+        | (_encode_reg(inst.rs1) << 40)
+        | (_encode_reg(inst.rs2) << 32)
+        | (imm & 0xFFFFFFFF)
+    )
+    return word
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 64-bit binary word back into an :class:`Instruction`.
+
+    Raises:
+        ValueError: if the opcode field is not a valid opcode.
+    """
+    if not 0 <= word < 2**64:
+        raise ValueError(f"not a 64-bit word: {word}")
+    op_field = (word >> 56) & 0xFF
+    try:
+        op = Op(op_field)
+    except ValueError as exc:
+        raise ValueError(f"invalid opcode field: {op_field}") from exc
+    imm = word & 0xFFFFFFFF
+    if imm & 0x80000000:
+        imm -= 0x100000000
+    return Instruction(
+        op,
+        rd=_decode_reg((word >> 48) & 0xFF),
+        rs1=_decode_reg((word >> 40) & 0xFF),
+        rs2=_decode_reg((word >> 32) & 0xFF),
+        imm=imm,
+    )

@@ -1,0 +1,370 @@
+"""Opcode and instruction definitions for the repro mini-ISA.
+
+The ISA is a small RISC instruction set in the spirit of SimpleScalar's
+PISA (itself a MIPS derivative).  Like PISA, instructions occupy **8
+bytes** in instruction memory (``INST_SIZE``), which is what the
+instruction cache and the fetch stage see; the logical register-transfer
+semantics are classic 32-bit RISC.
+
+Every opcode carries static metadata in :data:`OPINFO`:
+
+* ``fmt``      -- assembly operand format (see :class:`Fmt`),
+* ``fu``       -- the functional-unit class that executes it
+  (:class:`FUClass`), which also determines latency via the machine
+  configuration,
+* flag bits    -- branch/load/store/control classification used by the
+  pipeline without decoding semantics.
+
+The dynamic semantics live in :mod:`repro.isa.semantics` as pure
+functions so that both the functional emulator (P stream) and REESE's
+redundant re-execution (R stream) evaluate instructions through the very
+same code path.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+from .registers import NO_REG, reg_name
+
+#: Architectural size of one instruction in bytes (PISA-style 8-byte words).
+INST_SIZE = 8
+
+
+class FUClass(enum.IntEnum):
+    """Functional-unit classes, matching SimpleScalar's resource pools."""
+
+    NONE = 0       # no FU needed (nop, halt)
+    INT_ALU = 1    # single-cycle integer/branch unit
+    INT_MULT = 2   # pipelined integer multiplier
+    INT_DIV = 3    # unpipelined integer divider (shares HW with INT_MULT)
+    FP_ADD = 4     # FP adder / compare / convert
+    FP_MULT = 5    # FP multiplier
+    FP_DIV = 6     # FP divider / sqrt (shares HW with FP_MULT)
+    MEM_PORT = 7   # load/store port (cache access)
+
+
+class Fmt(enum.Enum):
+    """Assembly operand formats understood by the assembler."""
+
+    NONE = "none"          # op
+    RRR = "rrr"            # op rd, rs1, rs2
+    RRI = "rri"            # op rd, rs1, imm
+    RI = "ri"              # op rd, imm
+    MEM_LOAD = "mem_load"  # op rd, imm(rs1)
+    MEM_STORE = "mem_store"  # op rs2, imm(rs1)
+    BRANCH2 = "branch2"    # op rs1, rs2, label
+    BRANCH1 = "branch1"    # op rs1, label
+    JUMP = "jump"          # op label
+    JUMP_REG = "jump_reg"  # op rs1
+    RR = "rr"              # op rd, rs1
+    R = "r"                # op rs1
+
+
+class Op(enum.IntEnum):
+    """All opcodes in the mini-ISA."""
+
+    NOP = 0
+    # --- integer ALU -------------------------------------------------
+    ADD = 1
+    SUB = 2
+    AND = 3
+    OR = 4
+    XOR = 5
+    SLL = 6
+    SRL = 7
+    SRA = 8
+    SLT = 9
+    SLTU = 10
+    ADDI = 11
+    ANDI = 12
+    ORI = 13
+    XORI = 14
+    SLLI = 15
+    SRLI = 16
+    SRAI = 17
+    SLTI = 18
+    LUI = 19
+    # --- integer multiply / divide -----------------------------------
+    MUL = 20
+    MULHU = 21
+    DIV = 22
+    REM = 23
+    # --- control flow -------------------------------------------------
+    BEQ = 24
+    BNE = 25
+    BLT = 26
+    BGE = 27
+    BLTZ = 28
+    BGEZ = 29
+    J = 30
+    JAL = 31
+    JR = 32
+    JALR = 33
+    # --- memory --------------------------------------------------------
+    LW = 34
+    LB = 35
+    LBU = 36
+    LWF = 37
+    SW = 38
+    SB = 39
+    SWF = 40
+    # --- floating point -------------------------------------------------
+    FADD = 41
+    FSUB = 42
+    FMUL = 43
+    FDIV = 44
+    FSQRT = 45
+    FNEG = 46
+    FCMPLT = 47  # int rd <- (fs1 < fs2)
+    CVTIF = 48   # fd <- float(rs1)
+    CVTFI = 49   # rd <- int(fs1)
+    # --- system -----------------------------------------------------------
+    HALT = 50
+    PUTINT = 51  # append int(rs1) to the machine's output channel
+    PUTCH = 52   # append chr(rs1 & 0xff) to the output channel
+
+
+class OpInfo:
+    """Static decode metadata for one opcode."""
+
+    __slots__ = (
+        "mnemonic",
+        "fmt",
+        "fu",
+        "is_branch",
+        "is_cond_branch",
+        "is_load",
+        "is_store",
+        "is_halt",
+        "writes_reg",
+    )
+
+    def __init__(
+        self,
+        mnemonic: str,
+        fmt: Fmt,
+        fu: FUClass,
+        *,
+        is_branch: bool = False,
+        is_cond_branch: bool = False,
+        is_load: bool = False,
+        is_store: bool = False,
+        is_halt: bool = False,
+        writes_reg: bool = True,
+    ) -> None:
+        self.mnemonic = mnemonic
+        self.fmt = fmt
+        self.fu = fu
+        self.is_branch = is_branch
+        self.is_cond_branch = is_cond_branch
+        self.is_load = is_load
+        self.is_store = is_store
+        self.is_halt = is_halt
+        self.writes_reg = writes_reg
+
+
+def _alu(mn: str, fmt: Fmt) -> OpInfo:
+    return OpInfo(mn, fmt, FUClass.INT_ALU)
+
+
+def _br2(mn: str) -> OpInfo:
+    return OpInfo(
+        mn, Fmt.BRANCH2, FUClass.INT_ALU,
+        is_branch=True, is_cond_branch=True, writes_reg=False,
+    )
+
+
+def _br1(mn: str) -> OpInfo:
+    return OpInfo(
+        mn, Fmt.BRANCH1, FUClass.INT_ALU,
+        is_branch=True, is_cond_branch=True, writes_reg=False,
+    )
+
+
+OPINFO = {
+    Op.NOP: OpInfo("nop", Fmt.NONE, FUClass.NONE, writes_reg=False),
+    Op.ADD: _alu("add", Fmt.RRR),
+    Op.SUB: _alu("sub", Fmt.RRR),
+    Op.AND: _alu("and", Fmt.RRR),
+    Op.OR: _alu("or", Fmt.RRR),
+    Op.XOR: _alu("xor", Fmt.RRR),
+    Op.SLL: _alu("sll", Fmt.RRR),
+    Op.SRL: _alu("srl", Fmt.RRR),
+    Op.SRA: _alu("sra", Fmt.RRR),
+    Op.SLT: _alu("slt", Fmt.RRR),
+    Op.SLTU: _alu("sltu", Fmt.RRR),
+    Op.ADDI: _alu("addi", Fmt.RRI),
+    Op.ANDI: _alu("andi", Fmt.RRI),
+    Op.ORI: _alu("ori", Fmt.RRI),
+    Op.XORI: _alu("xori", Fmt.RRI),
+    Op.SLLI: _alu("slli", Fmt.RRI),
+    Op.SRLI: _alu("srli", Fmt.RRI),
+    Op.SRAI: _alu("srai", Fmt.RRI),
+    Op.SLTI: _alu("slti", Fmt.RRI),
+    Op.LUI: _alu("lui", Fmt.RI),
+    Op.MUL: OpInfo("mul", Fmt.RRR, FUClass.INT_MULT),
+    Op.MULHU: OpInfo("mulhu", Fmt.RRR, FUClass.INT_MULT),
+    Op.DIV: OpInfo("div", Fmt.RRR, FUClass.INT_DIV),
+    Op.REM: OpInfo("rem", Fmt.RRR, FUClass.INT_DIV),
+    Op.BEQ: _br2("beq"),
+    Op.BNE: _br2("bne"),
+    Op.BLT: _br2("blt"),
+    Op.BGE: _br2("bge"),
+    Op.BLTZ: _br1("bltz"),
+    Op.BGEZ: _br1("bgez"),
+    Op.J: OpInfo("j", Fmt.JUMP, FUClass.INT_ALU,
+                 is_branch=True, writes_reg=False),
+    Op.JAL: OpInfo("jal", Fmt.JUMP, FUClass.INT_ALU, is_branch=True),
+    Op.JR: OpInfo("jr", Fmt.JUMP_REG, FUClass.INT_ALU,
+                  is_branch=True, writes_reg=False),
+    Op.JALR: OpInfo("jalr", Fmt.RR, FUClass.INT_ALU, is_branch=True),
+    Op.LW: OpInfo("lw", Fmt.MEM_LOAD, FUClass.MEM_PORT, is_load=True),
+    Op.LB: OpInfo("lb", Fmt.MEM_LOAD, FUClass.MEM_PORT, is_load=True),
+    Op.LBU: OpInfo("lbu", Fmt.MEM_LOAD, FUClass.MEM_PORT, is_load=True),
+    Op.LWF: OpInfo("lwf", Fmt.MEM_LOAD, FUClass.MEM_PORT, is_load=True),
+    Op.SW: OpInfo("sw", Fmt.MEM_STORE, FUClass.MEM_PORT,
+                  is_store=True, writes_reg=False),
+    Op.SB: OpInfo("sb", Fmt.MEM_STORE, FUClass.MEM_PORT,
+                  is_store=True, writes_reg=False),
+    Op.SWF: OpInfo("swf", Fmt.MEM_STORE, FUClass.MEM_PORT,
+                   is_store=True, writes_reg=False),
+    Op.FADD: OpInfo("fadd", Fmt.RRR, FUClass.FP_ADD),
+    Op.FSUB: OpInfo("fsub", Fmt.RRR, FUClass.FP_ADD),
+    Op.FMUL: OpInfo("fmul", Fmt.RRR, FUClass.FP_MULT),
+    Op.FDIV: OpInfo("fdiv", Fmt.RRR, FUClass.FP_DIV),
+    Op.FSQRT: OpInfo("fsqrt", Fmt.RR, FUClass.FP_DIV),
+    Op.FNEG: OpInfo("fneg", Fmt.RR, FUClass.FP_ADD),
+    Op.FCMPLT: OpInfo("fcmplt", Fmt.RRR, FUClass.FP_ADD),
+    Op.CVTIF: OpInfo("cvtif", Fmt.RR, FUClass.FP_ADD),
+    Op.CVTFI: OpInfo("cvtfi", Fmt.RR, FUClass.FP_ADD),
+    Op.HALT: OpInfo("halt", Fmt.NONE, FUClass.NONE,
+                    is_halt=True, writes_reg=False),
+    Op.PUTINT: OpInfo("putint", Fmt.R, FUClass.INT_ALU, writes_reg=False),
+    Op.PUTCH: OpInfo("putch", Fmt.R, FUClass.INT_ALU, writes_reg=False),
+}
+
+#: mnemonic -> Op, for the assembler.
+MNEMONICS = {info.mnemonic: op for op, info in OPINFO.items()}
+
+
+class Instruction:
+    """One static instruction.
+
+    Operand fields hold *unified* register indices (see
+    :mod:`repro.isa.registers`) or :data:`~repro.isa.registers.NO_REG`
+    when a slot is unused.  ``imm`` holds the signed immediate; for
+    control-flow instructions with a target label the assembler resolves
+    the label to an **absolute instruction index** stored in ``imm``.
+
+    For stores, ``rs1`` is the base address register and ``rs2`` is the
+    data register; ``rd`` is unused.
+    """
+
+    __slots__ = ("op", "rd", "rs1", "rs2", "imm")
+
+    def __init__(
+        self,
+        op: Op,
+        rd: int = NO_REG,
+        rs1: int = NO_REG,
+        rs2: int = NO_REG,
+        imm: int = 0,
+    ) -> None:
+        self.op = op
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.imm = imm
+
+    # -- static classification (delegates to OPINFO) -------------------
+
+    @property
+    def info(self) -> OpInfo:
+        return OPINFO[self.op]
+
+    @property
+    def fu(self) -> FUClass:
+        return OPINFO[self.op].fu
+
+    @property
+    def is_branch(self) -> bool:
+        return OPINFO[self.op].is_branch
+
+    @property
+    def is_load(self) -> bool:
+        return OPINFO[self.op].is_load
+
+    @property
+    def is_store(self) -> bool:
+        return OPINFO[self.op].is_store
+
+    @property
+    def is_halt(self) -> bool:
+        return OPINFO[self.op].is_halt
+
+    def srcs(self) -> Tuple[int, ...]:
+        """Unified indices of source registers (zero register excluded)."""
+        out = []
+        for r in (self.rs1, self.rs2):
+            if r not in (NO_REG, 0):
+                out.append(r)
+        return tuple(out)
+
+    def dst(self) -> int:
+        """Unified index of the destination register, or NO_REG."""
+        if OPINFO[self.op].writes_reg and self.rd not in (NO_REG, 0):
+            return self.rd
+        return NO_REG
+
+    # -- display ---------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Instruction {self}>"
+
+    def __str__(self) -> str:
+        info = OPINFO[self.op]
+        mn = info.mnemonic
+        fmt = info.fmt
+        if fmt is Fmt.NONE:
+            return mn
+        if fmt is Fmt.RRR:
+            return f"{mn} {reg_name(self.rd)}, {reg_name(self.rs1)}, {reg_name(self.rs2)}"
+        if fmt is Fmt.RRI:
+            return f"{mn} {reg_name(self.rd)}, {reg_name(self.rs1)}, {self.imm}"
+        if fmt is Fmt.RI:
+            return f"{mn} {reg_name(self.rd)}, {self.imm}"
+        if fmt is Fmt.MEM_LOAD:
+            return f"{mn} {reg_name(self.rd)}, {self.imm}({reg_name(self.rs1)})"
+        if fmt is Fmt.MEM_STORE:
+            return f"{mn} {reg_name(self.rs2)}, {self.imm}({reg_name(self.rs1)})"
+        if fmt is Fmt.BRANCH2:
+            return f"{mn} {reg_name(self.rs1)}, {reg_name(self.rs2)}, @{self.imm}"
+        if fmt is Fmt.BRANCH1:
+            return f"{mn} {reg_name(self.rs1)}, @{self.imm}"
+        if fmt is Fmt.JUMP:
+            if self.op is Op.JAL:
+                return f"{mn} @{self.imm}"
+            return f"{mn} @{self.imm}"
+        if fmt is Fmt.JUMP_REG:
+            return f"{mn} {reg_name(self.rs1)}"
+        if fmt is Fmt.RR:
+            return f"{mn} {reg_name(self.rd)}, {reg_name(self.rs1)}"
+        if fmt is Fmt.R:
+            return f"{mn} {reg_name(self.rs1)}"
+        raise AssertionError(f"unhandled format {fmt}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instruction):
+            return NotImplemented
+        return (
+            self.op == other.op
+            and self.rd == other.rd
+            and self.rs1 == other.rs1
+            and self.rs2 == other.rs2
+            and self.imm == other.imm
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.op, self.rd, self.rs1, self.rs2, self.imm))

@@ -1,0 +1,99 @@
+"""Program container: code, data image and symbol table.
+
+A :class:`Program` is the unit of work handed to the functional emulator
+and (via the dynamic trace it produces) to the timing models.  It holds
+
+* the static instruction list (``code``) laid out at :data:`TEXT_BASE`,
+  one instruction per :data:`~repro.isa.instructions.INST_SIZE` bytes;
+* an initial data image: a mapping from byte address to 32-bit word
+  values, laid out by convention from :data:`DATA_BASE` upwards;
+* labels resolved by the assembler (absolute instruction indices).
+
+Branch targets inside instructions are *absolute instruction indices*
+(not byte addresses); :meth:`Program.pc_of` converts an index to the
+byte PC used by the I-cache model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from .instructions import INST_SIZE, Instruction
+
+#: Base byte address of the text (code) segment.
+TEXT_BASE = 0x0000_1000
+
+#: Base byte address of the data segment.
+DATA_BASE = 0x0010_0000
+
+#: Base byte address of the stack (grows downwards).
+STACK_BASE = 0x007F_FFF0
+
+
+class Program:
+    """An assembled program: instructions plus an initial memory image."""
+
+    def __init__(
+        self,
+        code: Iterable[Instruction],
+        data: Optional[Dict[int, int]] = None,
+        labels: Optional[Dict[str, int]] = None,
+        name: str = "program",
+    ) -> None:
+        self.code: List[Instruction] = list(code)
+        #: byte address -> initial 32-bit word value
+        self.data: Dict[int, int] = dict(data or {})
+        #: label -> absolute instruction index
+        self.labels: Dict[str, int] = dict(labels or {})
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.code)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.code)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.code[index]
+
+    def pc_of(self, index: int) -> int:
+        """Byte PC of the instruction at absolute index ``index``."""
+        return TEXT_BASE + index * INST_SIZE
+
+    def index_of(self, pc: int) -> int:
+        """Absolute instruction index of byte PC ``pc``.
+
+        Raises:
+            ValueError: if ``pc`` is not within the text segment.
+        """
+        offset = pc - TEXT_BASE
+        if offset < 0 or offset % INST_SIZE or offset // INST_SIZE >= len(self.code):
+            raise ValueError(f"PC {pc:#x} is outside the text segment")
+        return offset // INST_SIZE
+
+    def in_text(self, index: int) -> bool:
+        """True if ``index`` is a valid instruction index."""
+        return 0 <= index < len(self.code)
+
+    def label(self, name: str) -> int:
+        """Absolute instruction index of a label.
+
+        Raises:
+            KeyError: if the label does not exist.
+        """
+        return self.labels[name]
+
+    def listing(self) -> str:
+        """Human-readable disassembly listing (for debugging and docs)."""
+        index_labels: Dict[int, List[str]] = {}
+        for name, idx in self.labels.items():
+            index_labels.setdefault(idx, []).append(name)
+        lines = []
+        for idx, inst in enumerate(self.code):
+            for name in sorted(index_labels.get(idx, [])):
+                lines.append(f"{name}:")
+            lines.append(f"  {self.pc_of(idx):#010x}  {inst}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Program {self.name!r}: {len(self.code)} insts, {len(self.data)} data words>"

@@ -1,0 +1,80 @@
+"""Register-file definitions for the repro mini-ISA.
+
+The ISA has 32 general-purpose integer registers (``r0``..``r31``) and 32
+floating-point registers (``f0``..``f31``), mirroring the register
+configuration in Table 1 of the REESE paper ("32 GP, 32 FP").
+
+Throughout the code base registers are referred to by a *unified index*:
+integer registers occupy indices ``0..31`` and floating-point registers
+occupy ``32..63``.  A single flat namespace keeps register renaming, the
+RUU create vector, and dependence tracking uniform across the two files.
+
+``r0`` is hard-wired to zero: writes to it are discarded and reads always
+return 0, as in MIPS.  By software convention ``r29`` is the stack pointer
+and ``r31`` the link register (written by ``jal``/``jalr``).
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: Unified index of the first floating-point register.
+FP_BASE = NUM_INT_REGS
+
+#: The hard-wired zero register.
+REG_ZERO = 0
+
+#: Software-convention aliases (unified indices).
+REG_SP = 29
+REG_FP = 30
+REG_RA = 31
+
+#: Sentinel meaning "no register" in an instruction operand slot.
+NO_REG = -1
+
+#: Human-readable aliases accepted by the assembler.
+_ALIASES = {
+    "zero": REG_ZERO,
+    "sp": REG_SP,
+    "fp": REG_FP,
+    "ra": REG_RA,
+}
+
+
+def reg_name(index: int) -> str:
+    """Return the canonical assembly name for a unified register index."""
+    if index == NO_REG:
+        return "-"
+    if 0 <= index < NUM_INT_REGS:
+        return f"r{index}"
+    if FP_BASE <= index < NUM_REGS:
+        return f"f{index - FP_BASE}"
+    raise ValueError(f"register index out of range: {index}")
+
+
+def parse_reg(name: str) -> int:
+    """Parse an assembly register name into its unified index.
+
+    Accepts ``rN`` (integer), ``fN`` (floating point), and the aliases
+    ``zero``, ``sp``, ``fp`` and ``ra``.
+
+    Raises:
+        ValueError: if the name is not a valid register.
+    """
+    name = name.strip().lower()
+    if name in _ALIASES:
+        return _ALIASES[name]
+    if len(name) >= 2 and name[0] in ("r", "f") and name[1:].isdigit():
+        num = int(name[1:])
+        if name[0] == "r" and 0 <= num < NUM_INT_REGS:
+            return num
+        if name[0] == "f" and 0 <= num < NUM_FP_REGS:
+            return FP_BASE + num
+    raise ValueError(f"not a register: {name!r}")
+
+
+def is_fp_reg(index: int) -> bool:
+    """True if the unified index names a floating-point register."""
+    return FP_BASE <= index < NUM_REGS

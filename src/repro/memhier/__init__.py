@@ -1,0 +1,7 @@
+"""Memory hierarchy models: caches, TLB, and the assembled hierarchy."""
+
+from .cache import Cache, CacheParams
+from .hierarchy import MemHierParams, MemoryHierarchy
+from .tlb import TLB
+
+__all__ = ["Cache", "CacheParams", "MemHierParams", "MemoryHierarchy", "TLB"]

@@ -1,0 +1,85 @@
+"""The full memory hierarchy of the simulated machine.
+
+Matches the REESE paper's Table 1 by default:
+
+* L1 instruction cache: 32 KB, 2-way, 2-cycle hit;
+* L1 data cache: 32 KB, 2-way, 2-cycle hit;
+* unified L2 (shared by instructions and data): 512 KB, 4-way, 12-cycle;
+* main memory behind L2 (fixed latency), and a small D-TLB.
+
+The hierarchy exposes two latency probes used by the timing core:
+:meth:`MemoryHierarchy.ifetch` for the fetch stage and
+:meth:`MemoryHierarchy.daccess` for loads and committed stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .cache import Cache, CacheParams
+from .tlb import TLB
+
+
+@dataclass(frozen=True)
+class MemHierParams:
+    """Configuration of the whole hierarchy (Table 1 defaults)."""
+
+    l1i: CacheParams = field(
+        default_factory=lambda: CacheParams("l1i", 32 * 1024, 2, 32, 2)
+    )
+    l1d: CacheParams = field(
+        default_factory=lambda: CacheParams("l1d", 32 * 1024, 2, 32, 2)
+    )
+    l2: CacheParams = field(
+        default_factory=lambda: CacheParams("l2", 512 * 1024, 4, 64, 12)
+    )
+    memory_latency: int = 70
+    tlb_entries: int = 64
+    tlb_assoc: int = 4
+    tlb_miss_penalty: int = 30
+    use_tlb: bool = True
+
+
+class MemoryHierarchy:
+    """L1I + L1D + unified L2 + DRAM latency + D-TLB."""
+
+    def __init__(self, params: Optional[MemHierParams] = None) -> None:
+        self.params = params or MemHierParams()
+        p = self.params
+        self.l2 = Cache(p.l2, next_level=None, miss_latency=p.memory_latency)
+        self.l1i = Cache(p.l1i, next_level=self.l2)
+        self.l1d = Cache(p.l1d, next_level=self.l2)
+        self.dtlb = (
+            TLB(p.tlb_entries, p.tlb_assoc, miss_penalty=p.tlb_miss_penalty)
+            if p.use_tlb
+            else None
+        )
+
+    def ifetch(self, pc: int) -> int:
+        """Latency of fetching the instruction at byte PC ``pc``."""
+        return self.l1i.access(pc, is_write=False)
+
+    def daccess(self, addr: int, is_write: bool = False) -> int:
+        """Latency of a data access (includes TLB)."""
+        latency = self.dtlb.access(addr) if self.dtlb is not None else 0
+        return latency + self.l1d.access(addr, is_write=is_write)
+
+    def l1d_hit_latency(self) -> int:
+        """The guaranteed-hit latency used for REESE R-stream loads."""
+        return self.params.l1d.hit_latency
+
+    def stat_dict(self) -> Dict[str, Dict[str, float]]:
+        """Nested statistics for all levels."""
+        stats = {
+            "l1i": self.l1i.stat_dict(),
+            "l1d": self.l1d.stat_dict(),
+            "l2": self.l2.stat_dict(),
+        }
+        if self.dtlb is not None:
+            stats["dtlb"] = {
+                "hits": self.dtlb.hits,
+                "misses": self.dtlb.misses,
+                "miss_rate": self.dtlb.miss_rate,
+            }
+        return stats

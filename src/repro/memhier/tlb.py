@@ -1,0 +1,59 @@
+"""A small set-associative TLB model.
+
+SimpleScalar charges a fixed penalty on TLB misses; we do the same.
+The TLB sits logically in front of the D-cache: a data access latency
+is ``tlb_latency + cache_latency`` where ``tlb_latency`` is 0 on a hit
+and ``miss_penalty`` cycles on a miss.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class TLB:
+    """Set-associative translation lookaside buffer with LRU replacement."""
+
+    def __init__(
+        self,
+        entries: int = 64,
+        assoc: int = 4,
+        page_size: int = 4096,
+        miss_penalty: int = 30,
+    ) -> None:
+        if entries % assoc:
+            raise ValueError("entries must be divisible by assoc")
+        if page_size & (page_size - 1):
+            raise ValueError("page_size must be a power of two")
+        self.page_shift = page_size.bit_length() - 1
+        self.n_sets = entries // assoc
+        if self.n_sets & (self.n_sets - 1):
+            raise ValueError("number of TLB sets must be a power of two")
+        self.assoc = assoc
+        self.miss_penalty = miss_penalty
+        # Each set is an LRU-ordered list of page tags (most recent last).
+        self._sets: List[List[int]] = [[] for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> int:
+        """Translate; returns the added latency (0 on hit)."""
+        page = addr >> self.page_shift
+        set_index = page & (self.n_sets - 1)
+        tag = page >> (self.n_sets.bit_length() - 1)
+        entry_set = self._sets[set_index]
+        if tag in entry_set:
+            self.hits += 1
+            entry_set.remove(tag)
+            entry_set.append(tag)
+            return 0
+        self.misses += 1
+        entry_set.append(tag)
+        if len(entry_set) > self.assoc:
+            entry_set.pop(0)
+        return self.miss_penalty
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0

@@ -1,0 +1,110 @@
+"""P-stream / R-stream result comparison.
+
+REESE "tests for errors at the pipeline level by comparing the results
+of individual instructions" (paper §3).  For each instruction class the
+*comparable value* is the quantity a soft error could corrupt:
+
+=====================  ==================================================
+instruction class       comparable value
+=====================  ==================================================
+ALU / mul / div / FP    the arithmetic result
+load                    the loaded value
+store                   (effective address, store data)
+conditional branch      the resolved direction (0/1)
+``jal`` / ``jalr``      the link value (and, for ``jalr``, the target)
+``jr``                  the computed target
+``j`` / nop / output    nothing data-dependent (always verifies)
+=====================  ==================================================
+
+:func:`reexecute` recomputes the comparable value *from the operand
+values stored in the R-stream Queue entry*, through the exact same
+semantic functions the P stream used (:mod:`repro.isa.semantics`), so a
+fault-free P/R pair always compares equal — verified by property tests.
+
+Floats are compared by IEEE-754 bit pattern, which is both what the
+hardware comparator would do and robust to NaN.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from ..arch.trace import DynInst
+from ..isa.instructions import INST_SIZE, Op
+from ..isa.program import TEXT_BASE
+from ..isa.semantics import (
+    branch_taken,
+    compute,
+    effective_address,
+    float_to_bits,
+    has_compute,
+)
+
+Comparable = Union[int, float, Tuple, None]
+
+
+def p_value(dyn: DynInst) -> Comparable:
+    """The P-stream comparable value of a dynamic instruction."""
+    op = dyn.op
+    if dyn.is_store:
+        return (dyn.ea, dyn.store_value)
+    if dyn.is_load:
+        return dyn.result
+    if dyn.is_cond_branch:
+        return int(dyn.taken)
+    if op is Op.JAL:
+        return dyn.result
+    if op is Op.JR:
+        return dyn.target_index
+    if op is Op.JALR:
+        return (dyn.result, dyn.target_index)
+    if has_compute(op):
+        return dyn.result
+    return None  # j, nop, halt, putint/putch: nothing data-dependent
+
+
+def reexecute(dyn: DynInst) -> Comparable:
+    """Recompute the comparable value from stored operands (the R stream).
+
+    Loads return the trace's loaded value: the R-stream load re-reads
+    the same (unmodified, store-committed-in-order) memory location and
+    is guaranteed an L1 hit (paper §4.4), so absent a fault it observes
+    the identical value.
+    """
+    op = dyn.op
+    if dyn.is_store:
+        return (effective_address(dyn.a, dyn.imm), dyn.store_value)
+    if dyn.is_load:
+        return dyn.result
+    if dyn.is_cond_branch:
+        return int(branch_taken(op, dyn.a, dyn.b))
+    if op is Op.JAL:
+        return TEXT_BASE + (dyn.static_index + 1) * INST_SIZE
+    if op is Op.JR:
+        return (int(dyn.a) - TEXT_BASE) // INST_SIZE
+    if op is Op.JALR:
+        link = TEXT_BASE + (dyn.static_index + 1) * INST_SIZE
+        return (link, (int(dyn.a) - TEXT_BASE) // INST_SIZE)
+    if has_compute(op):
+        return compute(op, dyn.a, dyn.b, dyn.imm)
+    return None
+
+
+def values_equal(p: Comparable, r: Comparable) -> bool:
+    """Hardware-comparator equality: floats compared bit-for-bit."""
+    if isinstance(p, tuple) and isinstance(r, tuple):
+        return len(p) == len(r) and all(
+            values_equal(pi, ri) for pi, ri in zip(p, r)
+        )
+    if isinstance(p, float) or isinstance(r, float):
+        if not (isinstance(p, float) and isinstance(r, float)):
+            return False
+        return float_to_bits(p) == float_to_bits(r)
+    return p == r
+
+
+def verify(dyn: DynInst, p: Optional[Comparable] = None) -> bool:
+    """Convenience: re-execute and compare against ``p`` (default: clean P)."""
+    if p is None:
+        p = p_value(dyn)
+    return values_equal(p, reexecute(dyn))

@@ -1,0 +1,205 @@
+"""Transient-fault (soft-error) models.
+
+The REESE paper argues about soft errors analytically; to make the
+claims measurable this module provides injectable fault models for both
+the timing simulators and the functional emulator:
+
+* :class:`EnvironmentalFaultModel` — the paper's §2 model: environmental
+  events (e.g. a particle strike) arrive as a Poisson process and persist
+  for a **duration Δt**; *every* execution completing inside the event
+  window suffers the same bit flip.  If an instruction's P and R
+  executions both fall inside one event they are corrupted identically
+  and the error is **undetectable** — exactly the paper's argument for
+  separating P and R executions by more than Δt.
+* :class:`BernoulliFaultModel` — independent per-execution bit flips
+  with probability ``rate`` (the classic SER-per-instruction model).
+* :class:`ScheduledFaultModel` — an explicit list of (start, duration,
+  bit) events, for deterministic unit tests.
+
+Corruption helpers flip one bit of a comparable value: integers flip a
+bit of their 32-bit representation, floats a bit of their IEEE-754
+double representation, stores flip a bit of the store data.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..arch.trace import DynInst
+from ..isa.semantics import bits_to_float, float_to_bits, to_i32
+
+Comparable = Union[int, float, Tuple, None]
+
+
+def flip_int_bit(value: int, bit: int) -> int:
+    """Flip one bit of a 32-bit integer value."""
+    return to_i32((value & 0xFFFFFFFF) ^ (1 << (bit & 31)))
+
+
+def flip_float_bit(value: float, bit: int) -> float:
+    """Flip one bit of a double's IEEE-754 representation."""
+    return bits_to_float(float_to_bits(value) ^ (1 << (bit & 63)))
+
+
+def corrupt_value(value: Comparable, bit: int) -> Comparable:
+    """Flip one bit of a comparable value.
+
+    Tuples (store address/data, jalr link/target) corrupt their last
+    element — the data payload.  ``None`` values (instructions with no
+    data-dependent result) are returned unchanged: there is nothing to
+    corrupt, so such instructions are immune by construction.
+    """
+    if value is None:
+        return None
+    if isinstance(value, tuple):
+        return value[:-1] + (corrupt_value(value[-1], bit),)
+    if isinstance(value, float):
+        return flip_float_bit(value, bit)
+    return flip_int_bit(int(value), bit)
+
+
+class FaultModel(abc.ABC):
+    """Interface queried by the timing models at execution completion."""
+
+    def __init__(self) -> None:
+        self.queries = 0
+        self.strikes = 0
+
+    @abc.abstractmethod
+    def fault_bit_at(self, cycle: int) -> Optional[int]:
+        """Bit index to flip for an execution completing at ``cycle``.
+
+        Returns ``None`` when no fault is active.  Callers query with
+        non-decreasing cycles within one simulation.
+        """
+
+    def sample(self, cycle: int) -> Optional[int]:
+        """Query with bookkeeping; use this instead of fault_bit_at."""
+        self.queries += 1
+        bit = self.fault_bit_at(cycle)
+        if bit is not None:
+            self.strikes += 1
+        return bit
+
+
+class NoFaults(FaultModel):
+    """The default: a perfectly quiet environment."""
+
+    def fault_bit_at(self, cycle: int) -> Optional[int]:
+        return None
+
+
+class ScheduledFaultModel(FaultModel):
+    """Deterministic fault events: a list of (start, duration, bit)."""
+
+    def __init__(self, events: Sequence[Tuple[int, int, int]]) -> None:
+        super().__init__()
+        self.events: List[Tuple[int, int, int]] = sorted(events)
+        for start, duration, bit in self.events:
+            if duration <= 0:
+                raise ValueError("event duration must be positive")
+            if not 0 <= bit < 64:
+                raise ValueError("bit must be in [0, 64)")
+
+    def fault_bit_at(self, cycle: int) -> Optional[int]:
+        for start, duration, bit in self.events:
+            if start <= cycle < start + duration:
+                return bit
+            if start > cycle:
+                break
+        return None
+
+
+class EnvironmentalFaultModel(FaultModel):
+    """Poisson-arriving environmental events of fixed duration Δt."""
+
+    def __init__(
+        self,
+        rate: float,
+        duration: int,
+        seed: int = 2001,
+        bits: int = 32,
+    ) -> None:
+        """
+        Args:
+            rate: expected events per cycle (e.g. ``1e-4``).
+            duration: Δt, the cycles an event persists.
+            seed: RNG seed (deterministic runs).
+            bits: width of the bit-position distribution.
+        """
+        super().__init__()
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self.rate = rate
+        self.duration = duration
+        self._rng = random.Random(seed)
+        self._bits = bits
+        self._event_start = self._sample_gap(0)
+        self._event_bit = self._rng.randrange(bits)
+
+    def _sample_gap(self, now: float) -> float:
+        return now + self._rng.expovariate(self.rate)
+
+    def fault_bit_at(self, cycle: int) -> Optional[int]:
+        # Advance past expired events.
+        while cycle >= self._event_start + self.duration:
+            self._event_start = self._sample_gap(
+                self._event_start + self.duration
+            )
+            self._event_bit = self._rng.randrange(self._bits)
+        if cycle >= self._event_start:
+            return self._event_bit
+        return None
+
+
+class BernoulliFaultModel(FaultModel):
+    """Independent per-execution bit flips with fixed probability."""
+
+    def __init__(self, rate: float, seed: int = 2001, bits: int = 32) -> None:
+        super().__init__()
+        if not 0 <= rate <= 1:
+            raise ValueError("rate must be a probability")
+        self.rate = rate
+        self._rng = random.Random(seed)
+        self._bits = bits
+
+    def fault_bit_at(self, cycle: int) -> Optional[int]:
+        if self._rng.random() < self.rate:
+            return self._rng.randrange(self._bits)
+        return None
+
+
+def make_emulator_injector(rate: float, seed: int = 2001):
+    """Build an ``inject`` hook for the functional emulator.
+
+    The hook flips one result bit per affected instruction with
+    probability ``rate`` and records what it corrupted.  Used for
+    silent-data-corruption campaigns on a machine *without* REESE
+    (extension C in DESIGN.md).
+
+    Returns:
+        (hook, log): the callable to pass as ``Emulator(inject=...)``
+        and a list that accrues ``(seq, op_name, bit)`` records.
+    """
+    rng = random.Random(seed)
+    log: List[Tuple[int, str, int]] = []
+
+    def hook(dyn: DynInst) -> None:
+        if rng.random() >= rate:
+            return
+        bit = rng.randrange(32)
+        if dyn.is_store:
+            dyn.store_value = corrupt_value(dyn.store_value, bit)
+        elif dyn.is_cond_branch:
+            dyn.taken = not dyn.taken
+        elif dyn.result is not None:
+            dyn.result = corrupt_value(dyn.result, bit)
+        else:
+            return  # nothing corruptible (nop, j, ...)
+        log.append((dyn.seq, dyn.op.name, bit))
+
+    return hook, log

@@ -1,0 +1,192 @@
+"""The R-stream Queue — REESE's central hardware structure.
+
+Completed P-stream instructions leave the pipeline (the RUU) into this
+queue, carrying their **operands and result** (paper §4.3: "An entry in
+the R-stream Queue stores much more than just the instruction.  It
+keeps the values of the instruction operands and the result of the
+operation").  From here they are re-issued to idle functional units as
+R-stream instructions; when the R execution completes, its result is
+compared against the stored P result and, on a match, the instruction
+finally commits architecturally.
+
+The queue's default capacity is 32 entries (the paper's "initial
+maximum").  When it is full, completed P instructions cannot leave the
+RUU, which backs pressure up into dispatch — the only way the R-stream
+Queue can inhibit the P stream (paper §4.3).
+
+With the ``early_remove`` optimisation, instructions may enter the
+queue out of program order (as soon as they complete), so the queue
+tracks pending *issue* in insertion order while *commitment* remains in
+program order via sequence-number lookup.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional
+
+from ..arch.trace import DynInst
+from ..isa.instructions import FUClass
+
+# R-entry states.
+R_WAITING = 0   # in queue, not yet issued to a functional unit
+R_ISSUED = 1    # executing redundantly
+R_DONE = 2      # R result available (or re-execution skipped)
+
+
+class REntry:
+    """One R-stream Queue entry: an instruction awaiting verification."""
+
+    __slots__ = (
+        "seq",           # program-order sequence number (trace index)
+        "dyn",           # the DynInst (operands, immediates, trace results)
+        "p_value",       # P-stream comparable value (possibly fault-corrupted)
+        "r_value",       # R-stream comparable value, set at R completion
+        "state",
+        "skip_r",        # True when re-execution is skipped (nop/halt/duty)
+        "fu",            # FUClass the R execution uses
+        "inserted_cycle",
+        "p_fault_bit",   # bit flipped in the P value by a fault, or None
+        "r_fault_bit",   # bit flipped in the R value by a fault, or None
+        "lsq_entry",     # stores: LSQ slot held until post-comparison commit
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        dyn: DynInst,
+        p_value,
+        fu: FUClass,
+        inserted_cycle: int,
+        skip_r: bool = False,
+    ) -> None:
+        self.seq = seq
+        self.dyn = dyn
+        self.p_value = p_value
+        self.r_value = None
+        self.state = R_DONE if skip_r else R_WAITING
+        self.skip_r = skip_r
+        self.fu = fu
+        self.inserted_cycle = inserted_cycle
+        self.p_fault_bit: Optional[int] = None
+        self.r_fault_bit: Optional[int] = None
+        self.lsq_entry = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<REntry seq={self.seq} {self.dyn.op.name} state={self.state}>"
+
+
+class RStreamQueue:
+    """Bounded queue of :class:`REntry` with FIFO issue, in-order commit."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._by_seq: Dict[int, REntry] = {}
+        self._pending_issue: Deque[REntry] = deque()
+        self.total_inserted = 0
+
+    # -- capacity ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._by_seq)
+
+    @property
+    def full(self) -> bool:
+        return len(self._by_seq) >= self.capacity
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._by_seq)
+
+    # -- insertion (from the RUU) ------------------------------------------
+
+    def push(self, entry: REntry) -> None:
+        """Insert a completed P instruction.
+
+        Raises:
+            OverflowError: if the queue is full (callers must check
+                :attr:`full`; a full queue stalls the RUU instead).
+        """
+        if self.full:
+            raise OverflowError("R-stream Queue is full")
+        if entry.seq in self._by_seq:
+            raise ValueError(f"duplicate sequence number {entry.seq}")
+        self._by_seq[entry.seq] = entry
+        if entry.state == R_WAITING:
+            self._pending_issue.append(entry)
+        self.total_inserted += 1
+
+    # -- R-stream issue ------------------------------------------------------
+
+    def peek_unissued(self) -> Optional[REntry]:
+        """The next entry awaiting R-stream issue (insertion order)."""
+        while self._pending_issue:
+            entry = self._pending_issue[0]
+            # Entries may have been dropped by a flush; skip stale refs.
+            if self._by_seq.get(entry.seq) is entry and entry.state == R_WAITING:
+                return entry
+            self._pending_issue.popleft()
+        return None
+
+    def waiting_entries(self) -> List[REntry]:
+        """Entries awaiting issue, in insertion order (a safe snapshot).
+
+        R-stream instructions carry their operands, so they have no
+        dependences on one another; the issue stage may skip an entry
+        whose functional unit is busy and issue a younger one (final
+        commitment stays in program order regardless).  Stale references
+        left behind by a flush are pruned here.
+        """
+        alive = [
+            entry
+            for entry in self._pending_issue
+            if self._by_seq.get(entry.seq) is entry
+            and entry.state == R_WAITING
+        ]
+        if len(alive) != len(self._pending_issue):
+            self._pending_issue = deque(alive)
+        return alive
+
+    def mark_issued(self, entry: REntry) -> None:
+        """Transition an entry to ISSUED and advance the issue pointer."""
+        if entry.state != R_WAITING:
+            raise ValueError(f"entry {entry.seq} is not waiting")
+        entry.state = R_ISSUED
+        if self._pending_issue and self._pending_issue[0] is entry:
+            self._pending_issue.popleft()
+        else:
+            try:
+                self._pending_issue.remove(entry)
+            except ValueError:
+                pass
+
+    # -- commitment -----------------------------------------------------------
+
+    def committable(self, seq: int) -> Optional[REntry]:
+        """The entry for program-order position ``seq`` if it is DONE."""
+        entry = self._by_seq.get(seq)
+        if entry is not None and entry.state == R_DONE:
+            return entry
+        return None
+
+    def pop(self, seq: int) -> REntry:
+        """Remove and return the entry at ``seq`` (final commit)."""
+        return self._by_seq.pop(seq)
+
+    def contains(self, seq: int) -> bool:
+        return seq in self._by_seq
+
+    # -- flush -------------------------------------------------------------------
+
+    def clear(self) -> int:
+        """Drop every entry (error recovery); returns how many were dropped."""
+        dropped = len(self._by_seq)
+        self._by_seq.clear()
+        self._pending_issue.clear()
+        return dropped
+
+    def entries(self) -> Iterable[REntry]:
+        """Live entries in program order (for tests and introspection)."""
+        return (self._by_seq[seq] for seq in sorted(self._by_seq))

@@ -1,0 +1,32 @@
+"""The out-of-order superscalar timing core (SimpleScalar-style)."""
+
+from .config import (
+    LatencyConfig,
+    MachineConfig,
+    ReeseConfig,
+    bigger_window_config,
+    large_machine_config,
+    more_mem_ports_config,
+    starting_config,
+    wide_datapath_config,
+)
+from .funits import FUPool
+from .pipeline import Pipeline, SimulationDeadlockError
+from .ptrace import PipeTrace
+from .stats import Stats
+
+__all__ = [
+    "LatencyConfig",
+    "MachineConfig",
+    "ReeseConfig",
+    "bigger_window_config",
+    "large_machine_config",
+    "more_mem_ports_config",
+    "starting_config",
+    "wide_datapath_config",
+    "FUPool",
+    "Pipeline",
+    "SimulationDeadlockError",
+    "PipeTrace",
+    "Stats",
+]

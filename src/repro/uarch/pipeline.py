@@ -1,0 +1,1036 @@
+"""Cycle-level out-of-order superscalar core with optional REESE.
+
+The model mirrors SimpleScalar 2.0's ``sim-outorder`` organisation
+(paper §5.1): a fetch queue feeds dispatch/rename into a **Register
+Update Unit** — a circular queue combining reservation stations and a
+reorder buffer — with a parallel **load/store queue**; instructions
+issue out of order to functional-unit pools and commit in order from
+the RUU head.  Stage processing runs in reverse pipeline order each
+cycle (commit, writeback, issue, dispatch, fetch), as in sim-outorder.
+
+Execution is driven by the functional emulator's dynamic trace along
+the correct path; mispredicted branches switch fetch onto the *static*
+program's wrong path, whose instructions occupy the fetch queue, RUU,
+LSQ and functional units until the branch resolves at writeback and
+squashes them.
+
+With ``config.reese.enabled`` the commit stage implements the REESE
+protocol (paper §4):
+
+1. completed P-stream instructions leave the RUU into the
+   **R-stream Queue** (freeing their RUU/LSQ entries) instead of
+   committing — from the head in program order, or from anywhere in the
+   window when ``early_remove`` is on;
+2. R-stream instructions issue from the queue into functional-unit
+   slots left idle by the P stream (P has priority; a high-water mark
+   forces R priority to avoid overflow livelock);
+3. when an entry's R execution completes, the commit stage compares the
+   P and R results in program order and only then updates architectural
+   state (stores write the D-cache here);
+4. a mismatch flushes the pipeline *and* the R-stream Queue and
+   refetches from the faulting instruction; an instruction that keeps
+   failing stops the machine (:class:`~repro.reese.recovery.UnrecoverableFaultError`).
+
+Soft errors are injected by a :class:`~repro.reese.faults.FaultModel`
+that corrupts execution results at completion time; in the baseline
+model corrupted results commit silently (counted as SDC), while REESE
+detects any P/R mismatch.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from ..arch.trace import DynInst, Trace
+from ..bpred import BTB, PerfectPredictor, ReturnAddressStack, make_predictor
+from ..isa.instructions import FUClass, Op, OPINFO
+from ..isa.program import Program, TEXT_BASE
+from ..isa.registers import REG_RA
+from ..isa.instructions import INST_SIZE
+from ..memhier.hierarchy import MemoryHierarchy
+from ..reese.comparator import p_value as reese_p_value
+from ..reese.comparator import reexecute as reese_reexecute
+from ..reese.comparator import values_equal
+from ..reese.faults import FaultModel, NoFaults, corrupt_value
+from ..reese.recovery import RetryTracker, UnrecoverableFaultError
+from ..reese.rqueue import R_DONE, R_WAITING, REntry, RStreamQueue
+from .config import MachineConfig
+from .funits import FUPool
+from .stats import Stats
+
+
+class SimulationDeadlockError(Exception):
+    """The pipeline made no commit progress for an implausible interval."""
+
+
+class _Entry:
+    """One in-flight instruction (fetch queue / RUU / LSQ resident)."""
+
+    __slots__ = (
+        "seq",            # dispatch-order id, unique across refetches
+        "dyn",            # DynInst for correct-path, None for wrong path
+        "trace_seq",      # dyn.seq, or -1 for wrong path
+        "static_index",
+        "op",
+        "fu",
+        "is_load",
+        "is_store",
+        "is_mem",
+        "is_branch",
+        "is_halt",
+        "wrong_path",
+        "srcs",
+        "dst",
+        "deps",
+        "consumers",
+        "issued",
+        "completed",
+        "squashed",
+        "mispredicted",
+        "recover_cursor",  # trace cursor to resume at after recovery
+        "skip_r",          # REESE: this instruction is not re-executed
+        "p_fault_bit",     # fault bit flipped in the P result, or None
+        "is_shadow",       # dispatch-dup: the duplicate copy
+        "shadow",          # dispatch-dup: original -> its duplicate
+    )
+
+    def __init__(self) -> None:
+        self.seq = 0
+        self.dyn: Optional[DynInst] = None
+        self.trace_seq = -1
+        self.static_index = 0
+        self.op = Op.NOP
+        self.fu = FUClass.NONE
+        self.is_load = False
+        self.is_store = False
+        self.is_mem = False
+        self.is_branch = False
+        self.is_halt = False
+        self.wrong_path = False
+        self.srcs = ()
+        self.dst = -1
+        self.deps = 0
+        self.consumers: List["_Entry"] = []
+        self.issued = False
+        self.completed = False
+        self.squashed = False
+        self.mispredicted = False
+        self.recover_cursor = -1
+        self.skip_r = False
+        self.p_fault_bit: Optional[int] = None
+        self.is_shadow = False
+        self.shadow: Optional["_Entry"] = None
+
+
+class Pipeline:
+    """One simulated machine executing one program trace."""
+
+    #: Cycles without a commit before declaring deadlock.
+    DEADLOCK_WINDOW = 20_000
+
+    def __init__(
+        self,
+        program: Program,
+        trace: Trace,
+        config: MachineConfig,
+        fault_model: Optional[FaultModel] = None,
+        warm_caches: bool = False,
+        warm_predictor: bool = False,
+        observer=None,
+    ) -> None:
+        """
+        Args:
+            program: the static program (wrong-path fetch walks it).
+            trace: dynamic trace from the functional emulator.
+            config: machine configuration (Table 1 preset or variant).
+            fault_model: optional soft-error injector.
+            warm_caches: pre-touch every I-line, data address and TLB
+                page of the trace before timing starts, then zero the
+                cache statistics.  The paper simulates 100 M instructions
+                per benchmark, so its caches run warm; our runs are 10⁴-
+                10⁵ instructions and would otherwise be dominated by
+                compulsory misses.  The experiment harness enables this.
+            warm_predictor: likewise pre-train the direction predictor
+                on one pass of the branch stream.
+            observer: optional stage-event observer (e.g.
+                :class:`repro.uarch.ptrace.PipeTrace`); its ``notify``
+                method is called at fetch/dispatch/issue/complete/
+                commit/squash/R-stream events.
+        """
+        self.program = program
+        self.trace = trace
+        self.config = config
+        self.fault_model = fault_model or NoFaults()
+        self.warm_caches = warm_caches
+        self.warm_predictor = warm_predictor
+        self.observer = observer
+        self.stats = Stats()
+
+        self.mem = MemoryHierarchy(config.mem)
+        self.fupool = FUPool(config)
+        self.predictor = make_predictor(config.predictor, **config.predictor_kwargs)
+        self.btb = BTB(config.btb_entries)
+        self.ras = ReturnAddressStack(config.ras_depth)
+
+        self.cycle = 0
+        self._done = False
+        self._next_seq = 0
+        self._event_tie = 0
+
+        # Front end.
+        self.ifq: Deque[_Entry] = deque()
+        self.fetch_cursor = 0          # next trace index to fetch
+        self.wp_active = False
+        self.wp_index = -1             # static index for wrong-path fetch
+        self.fetch_blocked_until = 0
+        self._last_fetch_line = -1
+        self._line_shift = config.mem.l1i.line_size.bit_length() - 1
+        self._l1i_hit = config.mem.l1i.hit_latency
+        self._l1d_hit = config.mem.l1d.hit_latency
+
+        # Window.
+        self.ruu: List[_Entry] = []
+        self.lsq: List[_Entry] = []
+        self.ready: List[_Entry] = []
+        self.create: Dict[int, _Entry] = {}
+
+        # Completion events: (cycle, tie, kind, payload, epoch)
+        self._events: List = []
+
+        # Architectural progress.
+        self.commit_seq = 0            # next trace seq expected to commit
+
+        # REESE.  Zero-valued knobs are "auto": the R-stream Queue scales
+        # with the RUU (paper §7 sizes it at "slightly more area than the
+        # RUU") and R dispatch is bound by issue slots / functional units
+        # rather than dedicated dequeue ports.
+        reese = config.reese
+        self.reese_on = reese.enabled
+        rqueue_size = reese.rqueue_size or max(32, config.ruu_size)
+        self.rqueue = RStreamQueue(rqueue_size) if self.reese_on else None
+        self.rq_epoch = 0
+        self.retry = RetryTracker(reese.max_retry)
+        self._r_high_water = rqueue_size - min(
+            reese.high_water_margin, rqueue_size - 1
+        )
+        self._r_issue_width = reese.r_issue_width or config.issue_width
+
+        # Dispatch-duplication comparison scheme (related work, §3).
+        self.dup_on = config.dispatch_dup
+        # Duty cycle: re-execute one instruction in every _duty_period.
+        self._duty_period = max(1, round(1.0 / reese.r_duty_cycle))
+
+    # ==================================================================
+    # driver
+    # ==================================================================
+
+    def run(self, max_cycles: Optional[int] = None) -> Stats:
+        """Simulate until every trace instruction has committed.
+
+        Args:
+            max_cycles: optional hard cap (for tests); the default cap
+                scales with trace length as a runaway backstop.
+
+        Returns:
+            The populated :class:`~repro.uarch.stats.Stats`.
+
+        Raises:
+            SimulationDeadlockError: if no instruction commits for
+                :data:`DEADLOCK_WINDOW` cycles.
+            UnrecoverableFaultError: REESE retry budget exhausted.
+        """
+        total = len(self.trace)
+        if total == 0:
+            return self._finalize()
+        if self.warm_caches or self.warm_predictor:
+            self._warm_up()
+        cap = max_cycles if max_cycles is not None else 400 * total + 100_000
+        last_commit_cycle = 0
+        last_committed = 0
+
+        while not self._done and self.cycle < cap:
+            self._commit()
+            self._writeback()
+            self._issue()
+            self._dispatch()
+            self._fetch()
+            self.cycle += 1
+            self.stats.cycles += 1
+            if self.reese_on:
+                occ = len(self.rqueue)
+                self.stats.rqueue_occ_sum += occ
+                if occ > self.stats.rqueue_occ_max:
+                    self.stats.rqueue_occ_max = occ
+            if not self.ifq and not self.ruu:
+                if self.commit_seq >= total:
+                    self._done = True
+            if self.stats.committed != last_committed:
+                last_committed = self.stats.committed
+                last_commit_cycle = self.cycle
+            elif self.cycle - last_commit_cycle > self.DEADLOCK_WINDOW:
+                raise SimulationDeadlockError(
+                    f"no commit for {self.DEADLOCK_WINDOW} cycles at cycle "
+                    f"{self.cycle} (commit_seq={self.commit_seq}/{total}, "
+                    f"ruu={len(self.ruu)}, ifq={len(self.ifq)}, "
+                    f"rqueue={len(self.rqueue) if self.rqueue else 0})"
+                )
+        return self._finalize()
+
+    def _warm_up(self) -> None:
+        """One architectural pass over the trace to warm caches/predictor."""
+        if self.warm_caches:
+            mem = self.mem
+            last_line = -1
+            line_shift = self._line_shift
+            for dyn in self.trace:
+                line = dyn.pc >> line_shift
+                if line != last_line:
+                    mem.ifetch(dyn.pc)
+                    last_line = line
+                if dyn.ea is not None:
+                    mem.daccess(dyn.ea, is_write=dyn.is_store)
+            self.mem.l1i.reset_stats()
+            self.mem.l1d.reset_stats()
+            self.mem.l2.reset_stats()
+        if self.warm_predictor:
+            predictor = self.predictor
+            for dyn in self.trace:
+                if dyn.is_cond_branch:
+                    predictor.predict(dyn.pc)
+                    predictor.update(dyn.pc, dyn.taken)
+            predictor.lookups = 0
+            predictor.correct = 0
+
+    def _finalize(self) -> Stats:
+        stats = self.stats
+        stats.halted = self._done
+        stats.bpred_accuracy = self.predictor.accuracy
+        stats.fu_issues = dict(self.fupool.issues)
+        stats.cache_stats = self.mem.stat_dict()
+        return stats
+
+    # ==================================================================
+    # commit
+    # ==================================================================
+
+    def _commit(self) -> None:
+        if self.reese_on:
+            self._commit_reese()
+        elif self.dup_on:
+            self._commit_dup()
+        else:
+            self._commit_baseline()
+
+    def _commit_baseline(self) -> None:
+        budget = self.config.commit_width
+        ruu = self.ruu
+        while budget and ruu:
+            head = ruu[0]
+            if head.wrong_path or not head.completed:
+                break
+            if head.is_store:
+                if self.fupool.acquire(FUClass.MEM_PORT, self.cycle) is None:
+                    break
+                self.fupool.record_issue(FUClass.MEM_PORT)
+                self.mem.daccess(head.dyn.ea, is_write=True)
+            self._retire_entry(head)
+            ruu.pop(0)
+            if head.is_mem:
+                self._lsq_remove(head)
+            budget -= 1
+
+    def _commit_dup(self) -> None:
+        """Commit for the dispatch-duplication scheme.
+
+        The RUU head holds the original; its duplicate sits right
+        behind it.  Both must have completed; their (possibly
+        fault-corrupted) results are compared and the instruction
+        retires once.  A mismatch triggers the same flush-and-refetch
+        recovery as REESE.
+        """
+        budget = self.config.commit_width
+        ruu = self.ruu
+        while budget and ruu:
+            head = ruu[0]
+            if head.wrong_path or not head.completed:
+                break
+            shadow = head.shadow
+            if shadow is not None and not shadow.completed:
+                break
+            if shadow is not None:
+                self.stats.comparisons += 1
+                p_val = reese_p_value(head.dyn)
+                if head.p_fault_bit is not None:
+                    p_val = corrupt_value(p_val, head.p_fault_bit)
+                r_val = reese_reexecute(head.dyn)
+                if shadow.p_fault_bit is not None:
+                    r_val = corrupt_value(r_val, shadow.p_fault_bit)
+                if not values_equal(p_val, r_val):
+                    self.stats.errors_detected += 1
+                    self.stats.recoveries += 1
+                    if self.retry.record_failure(head.trace_seq):
+                        self.stats.unrecoverable = True
+                        raise UnrecoverableFaultError(
+                            head.trace_seq, self.retry.failures
+                        )
+                    self._flush_all(refetch_cursor=head.trace_seq)
+                    return
+                if (
+                    head.p_fault_bit is not None
+                    and shadow.p_fault_bit is not None
+                ):
+                    self.stats.errors_undetected_same_event += 1
+            if head.is_store:
+                if self.fupool.acquire(FUClass.MEM_PORT, self.cycle) is None:
+                    break
+                self.fupool.record_issue(FUClass.MEM_PORT)
+                self.mem.daccess(head.dyn.ea, is_write=True)
+            self.retry.record_success(head.trace_seq)
+            if self.observer is not None:
+                self.observer.notify("commit", self.cycle, head)
+            self.stats.committed += 1
+            self.commit_seq = head.trace_seq + 1
+            if head.is_halt:
+                self._done = True
+            ruu.pop(0)
+            if head.is_mem:
+                self._lsq_remove(head)
+            if shadow is not None:
+                # The duplicate is adjacent: remove it too.
+                if ruu and ruu[0] is shadow:
+                    ruu.pop(0)
+                else:  # pragma: no cover - defensive
+                    ruu.remove(shadow)
+                if shadow.is_mem:
+                    self._lsq_remove(shadow)
+            budget -= 1
+
+    def _retire_entry(self, entry: _Entry) -> None:
+        """Architectural retirement bookkeeping (baseline path)."""
+        if self.observer is not None:
+            self.observer.notify("commit", self.cycle, entry)
+        if entry.p_fault_bit is not None:
+            # No comparator: the corrupted result commits silently.
+            self.stats.sdc_commits += 1
+        self.stats.committed += 1
+        self.commit_seq = entry.trace_seq + 1
+        if entry.is_halt:
+            self._done = True
+
+    def _commit_reese(self) -> None:
+        # Phase 1: final commit — compare and retire from the R-stream
+        # Queue in program order (frees queue slots for phase 2).
+        budget = self.config.commit_width
+        rqueue = self.rqueue
+        while budget:
+            rentry = rqueue.committable(self.commit_seq)
+            if rentry is None:
+                break
+            dyn = rentry.dyn
+            if not rentry.skip_r:
+                self.stats.comparisons += 1
+                if not values_equal(rentry.p_value, rentry.r_value):
+                    self._handle_detected_error(rentry)
+                    return
+                if (
+                    rentry.p_fault_bit is not None
+                    and rentry.r_fault_bit is not None
+                ):
+                    # Both corrupted identically inside one environmental
+                    # event: comparison passes, the error escapes.
+                    self.stats.errors_undetected_same_event += 1
+            elif rentry.p_fault_bit is not None:
+                # Re-execution skipped (duty cycle): corruption escapes.
+                self.stats.sdc_commits += 1
+            if dyn.is_store:
+                if self.fupool.acquire(FUClass.MEM_PORT, self.cycle) is None:
+                    break
+                self.fupool.record_issue(FUClass.MEM_PORT)
+                self.mem.daccess(dyn.ea, is_write=True)
+                if rentry.lsq_entry is not None:
+                    self._lsq_remove(rentry.lsq_entry)
+            rqueue.pop(rentry.seq)
+            self.retry.record_success(rentry.seq)
+            if self.observer is not None:
+                self.observer.notify(
+                    "commit", self.cycle, trace_seq=rentry.seq
+                )
+            self.stats.committed += 1
+            self.commit_seq = rentry.seq + 1
+            if dyn.op is Op.HALT:
+                self._done = True
+            budget -= 1
+
+        # Phase 2: move completed P instructions from the RUU into the
+        # R-stream Queue (program order; early_remove allows skipping
+        # over incomplete older entries).  An early move must leave
+        # enough free queue slots for every *older* unmoved instruction
+        # — entries drain from the queue strictly in program order, so
+        # filling it with younger entries would deadlock the oldest.
+        moves = self.config.commit_width
+        early = self.config.reese.early_remove
+        ruu = self.ruu
+        index = 0
+        older_unmoved = 0
+        while moves and index < len(ruu):
+            entry = ruu[index]
+            if entry.wrong_path:
+                break
+            if not entry.completed:
+                if early:
+                    older_unmoved += 1
+                    index += 1
+                    continue
+                break
+            if rqueue.free_slots <= older_unmoved:
+                self.stats.rqueue_full_events += 1
+                break
+            self._move_to_rqueue(entry)
+            ruu.pop(index)
+            if entry.is_load:
+                self._lsq_remove(entry)
+            # Stores keep their LSQ slot until the post-comparison commit:
+            # the LSQ entry is the store buffer, and memory must not be
+            # written before the R-stream verification passes (§4.3).
+            moves -= 1
+
+    def _move_to_rqueue(self, entry: _Entry) -> None:
+        dyn = entry.dyn
+        skip_r = entry.skip_r
+        p_val = reese_p_value(dyn)
+        if entry.p_fault_bit is not None:
+            p_val = corrupt_value(p_val, entry.p_fault_bit)
+        rentry = REntry(
+            seq=entry.trace_seq,
+            dyn=dyn,
+            p_value=p_val,
+            fu=self._r_fu_class(entry),
+            inserted_cycle=self.cycle,
+            skip_r=skip_r,
+        )
+        rentry.p_fault_bit = entry.p_fault_bit
+        if entry.is_store:
+            rentry.lsq_entry = entry
+        self.rqueue.push(rentry)
+        if self.observer is not None:
+            self.observer.notify("rqueue", self.cycle, entry)
+        self.stats.rqueue_moves += 1
+
+    @staticmethod
+    def _r_fu_class(entry: _Entry) -> FUClass:
+        """Functional-unit class used by the redundant execution."""
+        if entry.is_load:
+            return FUClass.MEM_PORT
+        if entry.is_store or entry.is_branch:
+            # Address / direction recomputation runs on an integer ALU.
+            return FUClass.INT_ALU
+        if entry.fu is FUClass.NONE:
+            return FUClass.INT_ALU
+        return entry.fu
+
+    def _handle_detected_error(self, rentry: REntry) -> None:
+        self.stats.errors_detected += 1
+        self.stats.recoveries += 1
+        if self.retry.record_failure(rentry.seq):
+            self.stats.unrecoverable = True
+            raise UnrecoverableFaultError(rentry.seq, self.retry.failures)
+        self._flush_all(refetch_cursor=rentry.seq)
+
+    def _flush_all(self, refetch_cursor: int) -> None:
+        """Full pipeline + R-stream Queue flush (REESE error recovery)."""
+        if self.observer is not None:
+            self.observer.notify("recover", self.cycle)
+        self.stats.squashed += len(self.ifq) + len(self.ruu)
+        self.ifq.clear()
+        for entry in self.ruu:
+            entry.squashed = True
+        self.ruu.clear()
+        self.lsq.clear()
+        self.ready.clear()
+        self.create.clear()
+        self.rq_epoch += 1
+        if self.rqueue is not None:
+            self.rqueue.clear()
+        self.wp_active = False
+        self.wp_index = -1
+        self.fetch_cursor = refetch_cursor
+        self.fetch_blocked_until = self.cycle + 1
+        self._last_fetch_line = -1
+
+    # ==================================================================
+    # writeback
+    # ==================================================================
+
+    def _writeback(self) -> None:
+        events = self._events
+        cycle = self.cycle
+        while events and events[0][0] <= cycle:
+            _, _, kind, payload, epoch = heapq.heappop(events)
+            if kind == 0:
+                self._complete_p(payload)
+            else:
+                if epoch == self.rq_epoch:
+                    self._complete_r(payload)
+
+    def _complete_p(self, entry: _Entry) -> None:
+        if entry.squashed:
+            return
+        entry.completed = True
+        if self.observer is not None:
+            self.observer.notify("complete", self.cycle, entry)
+        if not entry.wrong_path and entry.dyn is not None:
+            bit = self.fault_model.sample(self.cycle)
+            if bit is not None and reese_p_value(entry.dyn) is not None:
+                entry.p_fault_bit = bit
+        for consumer in entry.consumers:
+            if consumer.squashed or consumer.issued:
+                continue
+            consumer.deps -= 1
+            if consumer.deps == 0:
+                self.ready.append(consumer)
+        entry.consumers = []
+        if entry.mispredicted and not entry.squashed:
+            self._recover_mispredict(entry)
+
+    def _complete_r(self, rentry: REntry) -> None:
+        separation = self.cycle - rentry.inserted_cycle
+        self.stats.pr_separation_sum += separation
+        self.stats.pr_separation_count += 1
+        if separation > self.stats.pr_separation_max:
+            self.stats.pr_separation_max = separation
+        r_val = reese_reexecute(rentry.dyn)
+        bit = self.fault_model.sample(self.cycle)
+        if bit is not None and r_val is not None:
+            r_val = corrupt_value(r_val, bit)
+            rentry.r_fault_bit = bit
+        rentry.r_value = r_val
+        rentry.state = R_DONE
+
+    def _recover_mispredict(self, branch: _Entry) -> None:
+        """Squash everything younger than a resolved mispredicted branch."""
+        seq = branch.seq
+        squashed = len(self.ifq)
+        self.ifq.clear()
+        survivors: List[_Entry] = []
+        # The branch's own duplicate (dispatch-dup scheme) is younger by
+        # one sequence number but belongs to the branch: keep it.
+        keep = branch.shadow
+        observer = self.observer
+        for entry in self.ruu:
+            if entry.seq > seq and entry is not keep:
+                entry.squashed = True
+                squashed += 1
+                if observer is not None:
+                    observer.notify("squash", self.cycle, entry)
+            else:
+                survivors.append(entry)
+        self.ruu = survivors
+        self.lsq = [
+            entry for entry in self.lsq
+            if entry.seq <= seq or entry is keep
+        ]
+        self.ready = [
+            entry for entry in self.ready
+            if entry.seq <= seq or entry is keep
+        ]
+        # Rebuild the create vector from surviving in-flight producers.
+        self.create.clear()
+        for entry in self.ruu:
+            if entry.dst >= 0 and not entry.completed:
+                self.create[entry.dst] = entry
+        self.stats.squashed += squashed
+        # Redirect fetch to the correct path.
+        self.wp_active = False
+        self.wp_index = -1
+        self.fetch_cursor = branch.recover_cursor
+        self.fetch_blocked_until = max(self.fetch_blocked_until, self.cycle + 1)
+        self._last_fetch_line = -1
+        branch.mispredicted = False
+
+    # ==================================================================
+    # issue
+    # ==================================================================
+
+    def _issue(self) -> None:
+        budget = self.config.issue_width
+        r_budget = self._r_issue_width if self.reese_on else 0
+        if self.reese_on and len(self.rqueue) >= self._r_high_water:
+            before = min(budget, r_budget)
+            left = self._issue_r(before)
+            issued = before - left
+            budget -= issued
+            r_budget -= issued
+        budget = self._issue_p(budget)
+        if self.reese_on and budget and r_budget:
+            self._issue_r(min(budget, r_budget))
+
+    def _issue_p(self, budget: int) -> int:
+        if not budget or not self.ready:
+            return budget
+        self.ready.sort(key=lambda entry: entry.seq)
+        leftover: List[_Entry] = []
+        cycle = self.cycle
+        for entry in self.ready:
+            if entry.squashed or entry.issued:
+                continue
+            if not budget:
+                leftover.append(entry)
+                continue
+            latency = self._try_issue_entry(entry, cycle)
+            if latency is None:
+                leftover.append(entry)
+                continue
+            entry.issued = True
+            self._schedule_p(entry, cycle + latency)
+            if self.observer is not None:
+                self.observer.notify("issue", cycle, entry)
+            self.stats.issued += 1
+            if entry.wrong_path:
+                self.stats.issued_wrong_path += 1
+            if entry.is_shadow:
+                self.stats.issued_r += 1  # redundant copy (dispatch dup)
+            budget -= 1
+        self.ready = leftover
+        return budget
+
+    def _try_issue_entry(self, entry: _Entry, cycle: int) -> Optional[int]:
+        """Attempt to issue one P-stream entry; returns latency or None."""
+        if entry.is_store:
+            # Stores need no FU: address+data merge into the LSQ entry.
+            return 1
+        if entry.is_load:
+            return self._try_issue_load(entry, cycle)
+        grant = self.fupool.acquire(entry.fu, cycle)
+        if grant is None:
+            return None
+        self.fupool.record_issue(entry.fu)
+        return max(1, grant)
+
+    def _try_issue_load(self, entry: _Entry, cycle: int) -> Optional[int]:
+        ea = entry.dyn.ea if entry.dyn is not None else None
+        forward = False
+        for older in self.lsq:
+            if older is entry:
+                break
+            if not older.is_store:
+                continue
+            if not older.completed:
+                return None  # older store address unknown: block the load
+            if (
+                ea is not None
+                and older.dyn is not None
+                and older.dyn.ea is not None
+                and (older.dyn.ea & ~3) == (ea & ~3)
+            ):
+                forward = True  # youngest older match wins; keep scanning
+        if forward:
+            self.stats.load_forwards += 1
+            return 1  # store-to-load forwarding inside the LSQ
+        grant = self.fupool.acquire(FUClass.MEM_PORT, cycle)
+        if grant is None:
+            return None
+        self.fupool.record_issue(FUClass.MEM_PORT)
+        if entry.wrong_path or ea is None:
+            return self._l1d_hit  # wrong path: no cache state pollution
+        return max(1, self.mem.daccess(ea, is_write=False))
+
+    def _issue_r(self, budget: int) -> int:
+        cycle = self.cycle
+        rqueue = self.rqueue
+        for rentry in rqueue.waiting_entries():
+            if not budget:
+                break
+            grant = self.fupool.acquire(rentry.fu, cycle)
+            if grant is None:
+                continue  # FU busy: skip — R entries are independent
+            self.fupool.record_issue(rentry.fu)
+            if rentry.fu is FUClass.MEM_PORT:
+                latency = self._l1d_hit  # R loads always hit in L1 (§4.4)
+            else:
+                latency = max(1, grant)
+            rqueue.mark_issued(rentry)
+            self._schedule_r(rentry, cycle + latency)
+            if self.observer is not None:
+                self.observer.notify(
+                    "r_issue", cycle, trace_seq=rentry.seq
+                )
+            self.stats.issued_r += 1
+            budget -= 1
+        return budget
+
+    def _schedule_p(self, entry: _Entry, finish: int) -> None:
+        self._event_tie += 1
+        heapq.heappush(self._events, (finish, self._event_tie, 0, entry, 0))
+
+    def _schedule_r(self, rentry: REntry, finish: int) -> None:
+        self._event_tie += 1
+        heapq.heappush(
+            self._events, (finish, self._event_tie, 1, rentry, self.rq_epoch)
+        )
+
+    # ==================================================================
+    # dispatch
+    # ==================================================================
+
+    def _dispatch(self) -> None:
+        budget = self.config.decode_width
+        ruu_size = self.config.ruu_size
+        lsq_size = self.config.lsq_size
+        ifq = self.ifq
+        while budget and ifq:
+            entry = ifq[0]
+            duplicate = (
+                self.dup_on
+                and not entry.wrong_path
+                and entry.fu is not FUClass.NONE
+                and not entry.is_halt
+            )
+            slots_needed = 2 if duplicate else 1
+            if len(self.ruu) > ruu_size - slots_needed:
+                self.stats.ruu_full_events += 1
+                break
+            if entry.is_mem and len(self.lsq) > lsq_size - slots_needed:
+                self.stats.lsq_full_events += 1
+                break
+            if duplicate and budget < 2:
+                break  # original and duplicate dispatch together
+            ifq.popleft()
+            self._dispatch_one(entry)
+            budget -= 1
+            if duplicate:
+                shadow = self._make_shadow(entry)
+                entry.shadow = shadow
+                self._dispatch_one(shadow)
+                budget -= 1
+
+    def _dispatch_one(self, entry: _Entry) -> None:
+        if self.observer is not None:
+            self.observer.notify("dispatch", self.cycle, entry)
+        self._rename(entry)
+        self.ruu.append(entry)
+        if entry.is_mem:
+            self.lsq.append(entry)
+        self.stats.dispatched += 1
+        if entry.wrong_path:
+            self.stats.dispatched_wrong_path += 1
+        if entry.fu is FUClass.NONE:
+            # nop/halt: no execution; completes next cycle.
+            entry.issued = True
+            self._schedule_p(entry, self.cycle + 1)
+        elif entry.deps == 0:
+            self.ready.append(entry)
+
+    def _make_shadow(self, original: _Entry) -> _Entry:
+        """The duplicate copy for the dispatch-duplication scheme."""
+        shadow = _Entry()
+        # The duplicate shares its original's age: squash decisions and
+        # issue-priority ordering must treat the pair as one instruction.
+        shadow.seq = original.seq
+        shadow.dyn = original.dyn
+        shadow.trace_seq = original.trace_seq
+        shadow.static_index = original.static_index
+        shadow.op = original.op
+        shadow.fu = original.fu
+        shadow.is_load = original.is_load
+        shadow.is_store = original.is_store
+        shadow.is_branch = original.is_branch
+        shadow.is_mem = original.is_mem
+        shadow.is_halt = original.is_halt
+        shadow.srcs = original.srcs
+        shadow.dst = -1  # the duplicate produces nothing architectural
+        shadow.is_shadow = True
+        return shadow
+
+    def _rename(self, entry: _Entry) -> None:
+        deps = 0
+        create = self.create
+        for src in entry.srcs:
+            producer = create.get(src)
+            if (
+                producer is not None
+                and not producer.completed
+                and not producer.squashed
+            ):
+                deps += 1
+                producer.consumers.append(entry)
+        entry.deps = deps
+        if entry.dst >= 0:
+            create[entry.dst] = entry
+
+    # ==================================================================
+    # fetch
+    # ==================================================================
+
+    def _fetch(self) -> None:
+        if self.fetch_blocked_until > self.cycle:
+            return
+        budget = self.config.fetch_width
+        ifq_cap = self.config.fetch_queue_size
+        trace = self.trace
+        fetched_any = False
+        while budget and len(self.ifq) < ifq_cap:
+            if self.wp_active:
+                if not self._fetch_wrong_path():
+                    break
+                fetched_any = True
+            else:
+                if self.fetch_cursor >= len(trace):
+                    break
+                if not self._fetch_correct_path(trace[self.fetch_cursor]):
+                    break
+                fetched_any = True
+            budget -= 1
+        if not fetched_any and not self.ifq:
+            self.stats.ifq_empty_cycles += 1
+
+    def _fetch_correct_path(self, dyn: DynInst) -> bool:
+        # Instruction-cache probe (one access per line).
+        line = dyn.pc >> self._line_shift
+        if line != self._last_fetch_line:
+            self._last_fetch_line = line
+            latency = self.mem.ifetch(dyn.pc)
+            if latency > self._l1i_hit:
+                # Miss: fetch stalls for the extra cycles.
+                self.fetch_blocked_until = self.cycle + (latency - self._l1i_hit)
+                return False
+
+        entry = self._make_entry(dyn=dyn, static_index=dyn.static_index)
+        self.stats.fetched += 1
+        if dyn.is_load:
+            self.stats.loads += 1
+        elif dyn.is_store:
+            self.stats.stores += 1
+        if self.reese_on:
+            entry.skip_r = (
+                entry.fu is FUClass.NONE
+                or entry.is_halt
+                or (dyn.seq % self._duty_period) != 0
+            )
+            if entry.skip_r and entry.fu is not FUClass.NONE and not entry.is_halt:
+                self.stats.r_skipped_duty += 1
+
+        if dyn.is_branch:
+            self.stats.branches += 1
+            predicted = self._predict_next(dyn)
+            if predicted == dyn.next_index:
+                self.fetch_cursor += 1
+            else:
+                self.stats.mispredictions += 1
+                entry.mispredicted = True
+                entry.recover_cursor = self.fetch_cursor + 1
+                self.wp_active = True
+                self.wp_index = predicted  # -1 stalls wrong-path fetch
+                self._last_fetch_line = -1
+        else:
+            self.fetch_cursor += 1
+        self.ifq.append(entry)
+        if self.observer is not None:
+            self.observer.notify("fetch", self.cycle, entry)
+        return True
+
+    def _predict_next(self, dyn: DynInst) -> int:
+        """Predicted next static index for a control-flow instruction."""
+        op = dyn.op
+        inst = self.program.code[dyn.static_index]
+        fallthrough = dyn.static_index + 1
+        if dyn.is_cond_branch:
+            self.stats.cond_branches += 1
+            predictor = self.predictor
+            if isinstance(predictor, PerfectPredictor):
+                predictor.prime(dyn.taken)
+            taken_pred = predictor.predict_and_update(dyn.pc, dyn.taken)
+            return dyn.target_index if taken_pred else fallthrough
+        if op is Op.J:
+            return dyn.target_index  # direct: target in the instruction word
+        if op is Op.JAL:
+            self.ras.push(fallthrough)
+            return dyn.target_index
+        if op is Op.JR:
+            if inst.rs1 == REG_RA:
+                predicted = self.ras.pop()
+            else:
+                predicted = self.btb.lookup(dyn.pc)
+            self.btb.update(dyn.pc, dyn.target_index)
+            return predicted if predicted is not None else -1
+        if op is Op.JALR:
+            self.ras.push(fallthrough)
+            predicted = self.btb.lookup(dyn.pc)
+            self.btb.update(dyn.pc, dyn.target_index)
+            return predicted if predicted is not None else -1
+        raise AssertionError(f"not a branch: {op}")
+
+    def _fetch_wrong_path(self) -> bool:
+        index = self.wp_index
+        code = self.program.code
+        if index < 0 or index >= len(code):
+            return False  # wrong-path fetch has nowhere to go: stall
+        inst = code[index]
+        info = OPINFO[inst.op]
+        entry = self._make_entry(dyn=None, static_index=index, inst=inst)
+        entry.wrong_path = True
+        self.stats.fetched_wrong_path += 1
+
+        # Walk the wrong path by predictor direction / direct targets.
+        op = inst.op
+        if info.is_halt:
+            self.wp_index = -1
+        elif info.is_cond_branch:
+            pc = TEXT_BASE + index * INST_SIZE
+            taken = self.predictor.predict(pc)  # consult, never train
+            self.wp_index = inst.imm if taken else index + 1
+        elif op in (Op.J, Op.JAL):
+            self.wp_index = inst.imm
+        elif op in (Op.JR, Op.JALR):
+            self.wp_index = -1  # indirect target unknown on the wrong path
+        else:
+            self.wp_index = index + 1
+        self.ifq.append(entry)
+        if self.observer is not None:
+            self.observer.notify("fetch", self.cycle, entry)
+        return True
+
+    def _make_entry(
+        self,
+        dyn: Optional[DynInst],
+        static_index: int,
+        inst=None,
+    ) -> _Entry:
+        entry = _Entry()
+        entry.seq = self._next_seq
+        self._next_seq += 1
+        entry.static_index = static_index
+        if dyn is not None:
+            entry.dyn = dyn
+            entry.trace_seq = dyn.seq
+            entry.op = dyn.op
+            entry.fu = dyn.fu
+            entry.is_load = dyn.is_load
+            entry.is_store = dyn.is_store
+            entry.is_branch = dyn.is_branch
+            entry.srcs = dyn.srcs
+            entry.dst = dyn.dst
+            entry.is_halt = dyn.op is Op.HALT
+        else:
+            info = OPINFO[inst.op]
+            entry.op = inst.op
+            entry.fu = info.fu
+            entry.is_load = info.is_load
+            entry.is_store = info.is_store
+            entry.is_branch = info.is_branch
+            entry.srcs = inst.srcs()
+            entry.dst = inst.dst()
+            entry.is_halt = info.is_halt
+        entry.is_mem = entry.is_load or entry.is_store
+        return entry
+
+    # ==================================================================
+    # helpers
+    # ==================================================================
+
+    def _lsq_remove(self, entry: _Entry) -> None:
+        try:
+            self.lsq.remove(entry)
+        except ValueError:  # pragma: no cover - defensive
+            pass

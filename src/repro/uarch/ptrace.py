@@ -1,0 +1,160 @@
+"""Pipeline tracing — SimpleScalar-``ptrace``-style stage timelines.
+
+Attach a :class:`PipeTrace` to a :class:`~repro.uarch.pipeline.Pipeline`
+(``observer=`` argument) and it records, per dynamic instruction, the
+cycle at which each stage happened:
+
+======  =====================================================
+column   meaning
+======  =====================================================
+``F``    fetched into the fetch queue
+``D``    dispatched (renamed into the RUU/LSQ)
+``I``    issued to a functional unit
+``X``    execution completed (writeback)
+``Q``    entered the R-stream Queue (REESE only)
+``R``    redundant execution issued (REESE only)
+``C``    architecturally committed
+======  =====================================================
+
+Squashed attempts are kept (marked ``squash``), so misprediction and
+error-recovery behaviour is visible.  Rendering is bounded
+(``max_records``) — tracing exists for inspection, not bulk logging.
+
+Example::
+
+    from repro.uarch import Pipeline, starting_config
+    from repro.uarch.ptrace import PipeTrace
+
+    tracer = PipeTrace(max_records=64)
+    Pipeline(program, trace, starting_config().with_reese(),
+             observer=tracer).run()
+    print(tracer.render())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+#: Stage keys in rendering order.
+STAGES = ("F", "D", "I", "X", "Q", "R", "C")
+
+
+class _Record:
+    __slots__ = ("seq", "trace_seq", "op", "pc", "wrong_path", "stages",
+                 "squashed")
+
+    def __init__(self, seq: int, trace_seq: int, op: str, pc: int,
+                 wrong_path: bool) -> None:
+        self.seq = seq
+        self.trace_seq = trace_seq
+        self.op = op
+        self.pc = pc
+        self.wrong_path = wrong_path
+        self.stages: Dict[str, int] = {}
+        self.squashed = False
+
+
+class PipeTrace:
+    """Observer that builds per-instruction stage timelines."""
+
+    def __init__(self, max_records: int = 256) -> None:
+        if max_records <= 0:
+            raise ValueError("max_records must be positive")
+        self.max_records = max_records
+        self._records: Dict[int, _Record] = {}
+        self._by_trace: Dict[int, int] = {}
+        self._order: List[int] = []
+        self.events = 0
+        self.recoveries: List[int] = []
+
+    # -- Pipeline hook ---------------------------------------------------
+
+    def notify(self, event: str, cycle: int, entry=None, **info) -> None:
+        """Called by the pipeline at each stage event.
+
+        REESE's R-stream events happen after the pipeline entry has
+        left the RUU, so they arrive keyed by ``trace_seq`` instead of
+        an entry; they attach to the most recent record of that dynamic
+        instruction.
+        """
+        self.events += 1
+        if event == "recover":
+            self.recoveries.append(cycle)
+            return
+        if entry is None:
+            trace_seq = info.get("trace_seq")
+            if trace_seq is None:
+                return
+            seq = self._by_trace.get(trace_seq)
+            if seq is None:
+                return
+            record = self._records[seq]
+        else:
+            seq = entry.seq
+            record = self._records.get(seq)
+            if record is None:
+                if len(self._records) >= self.max_records:
+                    return
+                record = _Record(
+                    seq,
+                    entry.trace_seq,
+                    entry.op.name.lower(),
+                    getattr(entry.dyn, "pc", 0)
+                    if entry.dyn is not None else 0,
+                    entry.wrong_path,
+                )
+                self._records[seq] = record
+                self._order.append(seq)
+                if entry.trace_seq >= 0:
+                    self._by_trace[entry.trace_seq] = seq
+        stage = _EVENT_TO_STAGE.get(event)
+        if stage is not None and stage not in record.stages:
+            record.stages[stage] = cycle
+        if event == "squash":
+            record.squashed = True
+
+    # -- inspection --------------------------------------------------------
+
+    def record_for(self, seq: int) -> Optional[_Record]:
+        return self._records.get(seq)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """Text table of the recorded timelines."""
+        header = (
+            f"{'seq':>5s} {'dyn':>5s} {'op':<8s} {'pc':>10s} "
+            + " ".join(f"{stage:>6s}" for stage in STAGES)
+            + "  notes"
+        )
+        lines = [header, "-" * len(header)]
+        for seq in self._order[: limit or len(self._order)]:
+            record = self._records[seq]
+            notes = []
+            if record.wrong_path:
+                notes.append("wrong-path")
+            if record.squashed:
+                notes.append("squashed")
+            cells = " ".join(
+                f"{record.stages.get(stage, ''):>6}" for stage in STAGES
+            )
+            dyn_col = record.trace_seq if record.trace_seq >= 0 else "-"
+            lines.append(
+                f"{record.seq:>5d} {dyn_col!s:>5s} {record.op:<8s} "
+                f"{record.pc:#010x} {cells}  {' '.join(notes)}"
+            )
+        if self.recoveries:
+            lines.append(f"recoveries at cycles: {self.recoveries}")
+        return "\n".join(lines)
+
+
+_EVENT_TO_STAGE = {
+    "fetch": "F",
+    "dispatch": "D",
+    "issue": "I",
+    "complete": "X",
+    "rqueue": "Q",
+    "r_issue": "R",
+    "commit": "C",
+}

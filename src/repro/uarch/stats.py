@@ -1,0 +1,158 @@
+"""Simulation statistics.
+
+A plain attribute bag with integer counters incremented from the hot
+loop (attribute store on a ``__slots__`` object is the cheapest thing
+Python offers short of locals), plus derived metrics and a reporting
+dict.  The headline metric throughout the paper is **committed IPC** —
+committed *P-stream* instructions per cycle; REESE's R-stream
+executions are accounted separately and never inflate IPC.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class Stats:
+    """Counters for one simulation run."""
+
+    __slots__ = (
+        "cycles",
+        "committed",
+        "fetched",
+        "fetched_wrong_path",
+        "dispatched",
+        "dispatched_wrong_path",
+        "issued",
+        "issued_wrong_path",
+        "issued_r",
+        "squashed",
+        "branches",
+        "cond_branches",
+        "mispredictions",
+        "loads",
+        "stores",
+        "load_forwards",
+        "ifq_empty_cycles",
+        "ruu_full_events",
+        "lsq_full_events",
+        "rqueue_full_events",
+        "rqueue_moves",
+        "rqueue_occ_sum",
+        "rqueue_occ_max",
+        "pr_separation_sum",
+        "pr_separation_max",
+        "pr_separation_count",
+        "r_skipped_duty",
+        "comparisons",
+        "errors_detected",
+        "errors_undetected_same_event",
+        "sdc_commits",
+        "recoveries",
+        "unrecoverable",
+        "halted",
+        "bpred_accuracy",
+        "fu_issues",
+        "cache_stats",
+    )
+
+    def __init__(self) -> None:
+        self.cycles = 0
+        self.committed = 0
+        self.fetched = 0
+        self.fetched_wrong_path = 0
+        self.dispatched = 0
+        self.dispatched_wrong_path = 0
+        self.issued = 0
+        self.issued_wrong_path = 0
+        self.issued_r = 0
+        self.squashed = 0
+        self.branches = 0
+        self.cond_branches = 0
+        self.mispredictions = 0
+        self.loads = 0
+        self.stores = 0
+        self.load_forwards = 0
+        self.ifq_empty_cycles = 0
+        self.ruu_full_events = 0
+        self.lsq_full_events = 0
+        self.rqueue_full_events = 0
+        self.rqueue_moves = 0
+        self.rqueue_occ_sum = 0
+        self.rqueue_occ_max = 0
+        self.pr_separation_sum = 0
+        self.pr_separation_max = 0
+        self.pr_separation_count = 0
+        self.r_skipped_duty = 0
+        self.comparisons = 0
+        self.errors_detected = 0
+        self.errors_undetected_same_event = 0
+        self.sdc_commits = 0
+        self.recoveries = 0
+        self.unrecoverable = False
+        self.halted = False
+        self.bpred_accuracy = 0.0
+        self.fu_issues: Dict[str, int] = {}
+        self.cache_stats: Dict[str, Dict[str, float]] = {}
+
+    # -- derived metrics -------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        """Committed P-stream instructions per cycle."""
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def misprediction_rate(self) -> float:
+        return (
+            self.mispredictions / self.cond_branches
+            if self.cond_branches
+            else 0.0
+        )
+
+    @property
+    def rqueue_mean_occupancy(self) -> float:
+        return self.rqueue_occ_sum / self.cycles if self.cycles else 0.0
+
+    @property
+    def mean_pr_separation(self) -> float:
+        """Mean cycles between queue insertion and R-execution completion.
+
+        The paper's §2 detection condition: an environmental event of
+        duration Δt escapes exactly when the P and R executions both
+        fall inside it, so this separation is the machine's effective
+        coverage window (events shorter than it are always caught).
+        """
+        return (
+            self.pr_separation_sum / self.pr_separation_count
+            if self.pr_separation_count
+            else 0.0
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat reporting dict with counters and derived metrics."""
+        out: Dict[str, Any] = {
+            name: getattr(self, name) for name in self.__slots__
+        }
+        out["ipc"] = self.ipc
+        out["misprediction_rate"] = self.misprediction_rate
+        out["rqueue_mean_occupancy"] = self.rqueue_mean_occupancy
+        out["mean_pr_separation"] = self.mean_pr_separation
+        return out
+
+    def summary(self) -> str:
+        """A short human-readable summary line."""
+        parts = [
+            f"cycles={self.cycles}",
+            f"committed={self.committed}",
+            f"IPC={self.ipc:.3f}",
+            f"mispred={self.misprediction_rate:.1%}",
+        ]
+        if self.issued_r:
+            parts.append(f"R-issued={self.issued_r}")
+        if self.errors_detected:
+            parts.append(f"detected={self.errors_detected}")
+        return " ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Stats {self.summary()}>"

@@ -1,0 +1,33 @@
+"""Workloads: SPEC95-int proxies, kernels and random program generation."""
+
+from .analysis import (BranchProfile, TraceProfile, analyze_trace,
+                       burstiness, windowed_ilp)
+from .generator import MixProfile, PROFILES, ProgramGenerator, generate_program
+from .suite import (
+    BENCHMARK_ORDER,
+    BENCHMARKS,
+    Workload,
+    clear_trace_cache,
+    load,
+    mix_report,
+    trace_for,
+)
+
+__all__ = [
+    "BranchProfile",
+    "TraceProfile",
+    "analyze_trace",
+    "burstiness",
+    "windowed_ilp",
+    "MixProfile",
+    "PROFILES",
+    "ProgramGenerator",
+    "generate_program",
+    "BENCHMARK_ORDER",
+    "BENCHMARKS",
+    "Workload",
+    "clear_trace_cache",
+    "load",
+    "mix_report",
+    "trace_for",
+]

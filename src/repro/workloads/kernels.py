@@ -1,0 +1,526 @@
+"""A library of small, verifiable assembly kernels.
+
+These kernels serve three purposes:
+
+* **emulator validation** — each has a pure-Python reference
+  (``*_expected``) so tests can check architectural results exactly;
+* **building blocks** for examples and for the SPEC95-proxy workloads;
+* **micro-workloads** for targeted pipeline tests (a serial chain, an
+  ILP-rich block, a multiply-bound loop, ...).
+
+All kernels end with ``halt`` and write their headline result with
+``putint`` so callers can assert on ``EmulationResult.output``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..isa.assembler import assemble
+from ..isa.program import Program
+
+
+def vector_sum(n: int = 64, seed: int = 11) -> Tuple[Program, int]:
+    """Sum an n-element random vector; returns (program, expected sum)."""
+    rng = random.Random(seed)
+    values = [rng.randrange(-1000, 1000) for _ in range(n)]
+    words = ", ".join(str(v) for v in values)
+    source = f"""
+    .data
+    vec: .word {words}
+    .text
+    main:
+        la   r1, vec
+        li   r2, {n}
+        li   r3, 0
+    loop:
+        lw   r4, 0(r1)
+        add  r3, r3, r4
+        addi r1, r1, 4
+        subi r2, r2, 1
+        bnez r2, loop
+        putint r3
+        halt
+    """
+    return assemble(source, name=f"vector_sum_{n}"), sum(values)
+
+
+def fibonacci(n: int = 20) -> Tuple[Program, int]:
+    """Iterative Fibonacci; returns (program, fib(n) mod 2**32 signed)."""
+    source = f"""
+    .text
+    main:
+        li   r1, {n}
+        li   r2, 0       # fib(0)
+        li   r3, 1       # fib(1)
+    loop:
+        beqz r1, done
+        add  r4, r2, r3
+        mov  r2, r3
+        mov  r3, r4
+        subi r1, r1, 1
+        j    loop
+    done:
+        putint r2
+        halt
+    """
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, (a + b)
+    expected = ((a & 0xFFFFFFFF) ^ 0x80000000) - 0x80000000
+    return assemble(source, name=f"fibonacci_{n}"), expected
+
+
+def fib_recursive(n: int = 12) -> Tuple[Program, int]:
+    """Naive recursive Fibonacci — call/return and stack heavy."""
+    source = f"""
+    .text
+    main:
+        li   r1, {n}
+        call fib
+        putint r2
+        halt
+    fib:                    # arg r1, result r2
+        li   r5, 2
+        blt  r1, r5, base
+        subi sp, sp, 12
+        sw   ra, 0(sp)
+        sw   r16, 4(sp)
+        sw   r17, 8(sp)
+        mov  r16, r1
+        subi r1, r16, 1
+        call fib
+        mov  r17, r2
+        subi r1, r16, 2
+        call fib
+        add  r2, r17, r2
+        lw   ra, 0(sp)
+        lw   r16, 4(sp)
+        lw   r17, 8(sp)
+        addi sp, sp, 12
+        ret
+    base:
+        mov  r2, r1
+        ret
+    """
+    def fib(k: int) -> int:
+        return k if k < 2 else fib(k - 1) + fib(k - 2)
+    return assemble(source, name=f"fib_recursive_{n}"), fib(n)
+
+
+def bubble_sort(n: int = 32, seed: int = 3) -> Tuple[Program, List[int]]:
+    """Bubble-sort a random array in memory; returns (program, sorted)."""
+    rng = random.Random(seed)
+    values = [rng.randrange(0, 10000) for _ in range(n)]
+    words = ", ".join(str(v) for v in values)
+    source = f"""
+    .data
+    arr: .word {words}
+    .text
+    main:
+        li   r1, {n - 1}        # outer remaining
+    outer:
+        beqz r1, done
+        la   r2, arr
+        mov  r3, r1             # inner count
+    inner:
+        lw   r4, 0(r2)
+        lw   r5, 4(r2)
+        ble  r4, r5, noswap
+        sw   r5, 0(r2)
+        sw   r4, 4(r2)
+    noswap:
+        addi r2, r2, 4
+        subi r3, r3, 1
+        bnez r3, inner
+        subi r1, r1, 1
+        j    outer
+    done:
+        la   r2, arr
+        lw   r6, 0(r2)
+        putint r6               # smallest element
+        halt
+    """
+    return assemble(source, name=f"bubble_sort_{n}"), sorted(values)
+
+
+def matmul(n: int = 8, seed: int = 5) -> Tuple[Program, int]:
+    """n x n integer matrix multiply; returns (program, trace(C))."""
+    rng = random.Random(seed)
+    a = [[rng.randrange(-9, 10) for _ in range(n)] for _ in range(n)]
+    b = [[rng.randrange(-9, 10) for _ in range(n)] for _ in range(n)]
+    a_words = ", ".join(str(v) for row in a for v in row)
+    b_words = ", ".join(str(v) for row in b for v in row)
+    source = f"""
+    .data
+    mata: .word {a_words}
+    matb: .word {b_words}
+    matc: .space {4 * n * n}
+    .text
+    main:
+        li   r1, 0              # i
+    iloop:
+        li   r2, 0              # j
+    jloop:
+        li   r3, 0              # k
+        li   r4, 0              # acc
+    kloop:
+        # a[i][k]
+        li   r5, {n}
+        mul  r6, r1, r5
+        add  r6, r6, r3
+        slli r6, r6, 2
+        la   r7, mata
+        add  r7, r7, r6
+        lw   r8, 0(r7)
+        # b[k][j]
+        mul  r9, r3, r5
+        add  r9, r9, r2
+        slli r9, r9, 2
+        la   r10, matb
+        add  r10, r10, r9
+        lw   r11, 0(r10)
+        mul  r12, r8, r11
+        add  r4, r4, r12
+        addi r3, r3, 1
+        blt  r3, r5, kloop
+        # c[i][j] = acc
+        mul  r6, r1, r5
+        add  r6, r6, r2
+        slli r6, r6, 2
+        la   r7, matc
+        add  r7, r7, r6
+        sw   r4, 0(r7)
+        addi r2, r2, 1
+        blt  r2, r5, jloop
+        addi r1, r1, 1
+        blt  r1, r5, iloop
+        # trace(C)
+        li   r1, 0
+        li   r4, 0
+        la   r7, matc
+    tloop:
+        li   r5, {n}
+        mul  r6, r1, r5
+        add  r6, r6, r1
+        slli r6, r6, 2
+        add  r8, r7, r6
+        lw   r9, 0(r8)
+        add  r4, r4, r9
+        addi r1, r1, 1
+        blt  r1, r5, tloop
+        putint r4
+        halt
+    """
+    c_trace = sum(
+        sum(a[i][k] * b[k][i] for k in range(n)) for i in range(n)
+    )
+    return assemble(source, name=f"matmul_{n}"), c_trace
+
+
+def string_hash(text: str = "the quick brown fox jumps") -> Tuple[Program, int]:
+    """Byte-wise djb2-style hash over a string; exercises lb."""
+    data = text.encode("ascii")
+    words = []
+    for i in range(0, len(data), 4):
+        chunk = data[i:i + 4].ljust(4, b"\0")
+        words.append(str(int.from_bytes(chunk, "little")))
+    source = f"""
+    .data
+    str: .word {", ".join(words)}
+    .text
+    main:
+        la   r1, str
+        li   r2, {len(data)}
+        li   r3, 5381
+    loop:
+        lbu  r4, 0(r1)
+        slli r5, r3, 5
+        add  r5, r5, r3
+        add  r3, r5, r4
+        addi r1, r1, 1
+        subi r2, r2, 1
+        bnez r2, loop
+        putint r3
+        halt
+    """
+    h = 5381
+    for byte in data:
+        h = (h * 33 + byte) & 0xFFFFFFFF
+    expected = (h ^ 0x80000000) - 0x80000000
+    return assemble(source, name="string_hash"), expected
+
+
+def quicksort(n: int = 48, seed: int = 17) -> Tuple[Program, List[int]]:
+    """Recursive quicksort (Lomuto partition) over a random array.
+
+    Exercises deep recursion, the return-address stack, data-dependent
+    branches and heavy stack traffic; returns (program, sorted values).
+    The program prints the min and max elements as a checksum.
+    """
+    rng = random.Random(seed)
+    values = [rng.randrange(0, 100_000) for _ in range(n)]
+    words = ", ".join(str(v) for v in values)
+    source = f"""
+    .data
+    arr: .word {words}
+    .text
+    main:
+        la   r1, arr            # base pointer (global across recursion)
+        li   r2, 0              # lo
+        li   r3, {n - 1}        # hi
+        call qsort
+        la   r1, arr
+        lw   r4, 0(r1)
+        putint r4               # min after sorting
+        lw   r5, {4 * (n - 1)}(r1)
+        putint r5               # max after sorting
+        halt
+
+    qsort:                      # args r2=lo, r3=hi (word indices)
+        bge  r2, r3, qdone
+        subi sp, sp, 16
+        sw   ra, 0(sp)
+        sw   r16, 4(sp)
+        sw   r17, 8(sp)
+        sw   r18, 12(sp)
+        mov  r16, r2            # lo
+        mov  r17, r3            # hi
+        # Lomuto partition with pivot = arr[hi]
+        slli r4, r17, 2
+        add  r4, r4, r1
+        lw   r5, 0(r4)          # pivot value
+        mov  r6, r16            # i (store slot)
+        mov  r7, r16            # j (scan)
+    ploop:
+        bge  r7, r17, pdone
+        slli r8, r7, 2
+        add  r8, r8, r1
+        lw   r9, 0(r8)
+        bgt  r9, r5, pskip
+        slli r10, r6, 2
+        add  r10, r10, r1
+        lw   r11, 0(r10)
+        sw   r9, 0(r10)
+        sw   r11, 0(r8)
+        addi r6, r6, 1
+    pskip:
+        addi r7, r7, 1
+        j    ploop
+    pdone:
+        slli r10, r6, 2
+        add  r10, r10, r1
+        lw   r11, 0(r10)
+        slli r12, r17, 2
+        add  r12, r12, r1
+        lw   r13, 0(r12)
+        sw   r13, 0(r10)
+        sw   r11, 0(r12)
+        mov  r18, r6            # pivot's final slot
+        mov  r2, r16
+        subi r3, r18, 1
+        call qsort              # left half
+        addi r2, r18, 1
+        mov  r3, r17
+        call qsort              # right half
+        lw   ra, 0(sp)
+        lw   r16, 4(sp)
+        lw   r17, 8(sp)
+        lw   r18, 12(sp)
+        addi sp, sp, 16
+    qdone:
+        ret
+    """
+    return assemble(source, name=f"quicksort_{n}"), sorted(values)
+
+
+def binary_search(n: int = 64, lookups: int = 40, seed: int = 23
+                  ) -> Tuple[Program, int]:
+    """Iterative binary search over a sorted table; returns hit count.
+
+    Data-dependent but *convergent* branch behaviour — a different
+    profile from the loop kernels.
+    """
+    rng = random.Random(seed)
+    table = sorted(rng.sample(range(0, 10_000), n))
+    keys = [
+        rng.choice(table) if rng.random() < 0.5 else rng.randrange(10_000)
+        for _ in range(lookups)
+    ]
+    expected = sum(1 for key in keys if key in set(table))
+    source = f"""
+    .data
+    table: .word {", ".join(str(v) for v in table)}
+    keys:  .word {", ".join(str(k) for k in keys)}
+    .text
+    main:
+        la   r1, table
+        la   r2, keys
+        li   r3, {lookups}
+        li   r9, 0              # hits
+    next_key:
+        lw   r4, 0(r2)          # key
+        li   r5, 0              # lo
+        li   r6, {n - 1}        # hi
+    search:
+        bgt  r5, r6, miss
+        add  r7, r5, r6
+        srli r7, r7, 1          # mid
+        slli r8, r7, 2
+        add  r8, r8, r1
+        lw   r10, 0(r8)
+        beq  r10, r4, hit
+        blt  r10, r4, go_right
+        subi r6, r7, 1
+        j    search
+    go_right:
+        addi r5, r7, 1
+        j    search
+    hit:
+        addi r9, r9, 1
+    miss:
+        addi r2, r2, 4
+        subi r3, r3, 1
+        bnez r3, next_key
+        putint r9
+        halt
+    """
+    return assemble(source, name=f"binary_search_{n}"), expected
+
+
+def saxpy(n: int = 32, a: float = 2.5, seed: int = 13) -> Tuple[Program, List[float]]:
+    """Single-precision a*x + y over two vectors; exercises the FP path.
+
+    Returns (program, expected y values).  The expectation replicates
+    the architecture's float32 store rounding (computation happens in
+    double precision; ``swf`` rounds to float32).
+    """
+    import struct
+
+    def f32(value: float) -> float:
+        return struct.unpack("<f", struct.pack("<f", value))[0]
+
+    rng = random.Random(seed)
+    xs = [f32(rng.uniform(-100, 100)) for _ in range(n)]
+    ys = [f32(rng.uniform(-100, 100)) for _ in range(n)]
+
+    def bits(value: float) -> int:
+        return struct.unpack("<I", struct.pack("<f", value))[0]
+
+    x_words = ", ".join(str(bits(v)) for v in xs)
+    y_words = ", ".join(str(bits(v)) for v in ys)
+    a_bits = bits(a)
+    source = f"""
+    .data
+    xv: .word {x_words}
+    yv: .word {y_words}
+    .text
+    main:
+        la   r1, xv
+        la   r2, yv
+        li   r3, {n}
+        li   r4, {a_bits}
+        # materialise the coefficient in an FP register via memory
+        subi sp, sp, 4
+        sw   r4, 0(sp)
+        lwf  f1, 0(sp)
+        addi sp, sp, 4
+    loop:
+        lwf  f2, 0(r1)
+        lwf  f3, 0(r2)
+        fmul f4, f2, f1
+        fadd f5, f4, f3
+        swf  f5, 0(r2)
+        addi r1, r1, 4
+        addi r2, r2, 4
+        subi r3, r3, 1
+        bnez r3, loop
+        # checksum: integer view of the last element
+        lw   r5, -4(r2)
+        putint r5
+        halt
+    """
+    a32 = f32(a)
+    expected = [f32(x * a32 + y) for x, y in zip(xs, ys)]
+    return assemble(source, name=f"saxpy_{n}"), expected
+
+
+def serial_chain(n: int = 2000) -> Program:
+    """A fully serial dependence chain — worst-case ILP (micro-workload)."""
+    source = f"""
+    .text
+    main:
+        li   r1, {n}
+        li   r2, 1
+    loop:
+        addi r2, r2, 3
+        xori r2, r2, 5
+        slli r3, r2, 1
+        sub  r2, r3, r2
+        subi r1, r1, 1
+        bnez r1, loop
+        putint r2
+        halt
+    """
+    return assemble(source, name=f"serial_chain_{n}")
+
+
+def ilp_block(n: int = 500, chains: int = 6) -> Program:
+    """``chains`` independent dependence chains — ILP-rich micro-workload."""
+    if not 1 <= chains <= 12:
+        raise ValueError("chains must be in [1, 12]")
+    init = "\n".join(f"    li r{8 + c}, {c + 1}" for c in range(chains))
+    body = "\n".join(
+        f"    addi r{8 + c}, r{8 + c}, {c + 3}\n"
+        f"    xori r{8 + c}, r{8 + c}, {c + 1}"
+        for c in range(chains)
+    )
+    reduce = "\n".join(
+        f"    add r2, r2, r{8 + c}" for c in range(chains)
+    )
+    source = f"""
+    .text
+    main:
+        li   r1, {n}
+        li   r2, 0
+{init}
+    loop:
+{body}
+        subi r1, r1, 1
+        bnez r1, loop
+{reduce}
+        putint r2
+        halt
+    """
+    return assemble(source, name=f"ilp_block_{chains}x{n}")
+
+
+def multiply_bound(n: int = 1000) -> Program:
+    """Back-to-back independent multiplies — stresses the mult unit."""
+    source = f"""
+    .text
+    main:
+        li   r1, {n}
+        li   r2, 3
+        li   r3, 5
+        li   r4, 7
+        li   r5, 11
+        li   r9, 0
+        li   r10, 0
+        li   r11, 0
+    loop:
+        mul  r6, r2, r3
+        mul  r7, r3, r4
+        mul  r8, r4, r5
+        add  r9, r9, r6
+        add  r10, r10, r7
+        add  r11, r11, r8
+        subi r1, r1, 1
+        bnez r1, loop
+        add  r9, r9, r10
+        add  r9, r9, r11
+        putint r9
+        halt
+    """
+    return assemble(source, name=f"multiply_bound_{n}")

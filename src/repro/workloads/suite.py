@@ -1,0 +1,142 @@
+"""The benchmark suite registry (paper Table 2).
+
+Maps the six SPECint95 benchmark names to their proxy builders, with
+the inputs the paper used recorded for the reproduction ledger.  The
+:func:`load` / :func:`trace_for` helpers are what the experiment
+harness and the benches call; traces are memoised per
+``(benchmark, scale, seed)`` because five machine models share each
+workload's trace in every figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..arch.emulator import emulate
+from ..arch.trace import Trace
+from ..isa.program import Program
+from . import profiles
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark: builder plus provenance metadata."""
+
+    name: str
+    description: str
+    paper_input: str
+    builder: Callable[[int, int], Program]
+    default_seed: int
+
+    def build(self, scale: int = 30_000, seed: int = None) -> Program:
+        """Assemble the proxy program targeting ``scale`` dynamic insts."""
+        if seed is None:
+            seed = self.default_seed
+        return self.builder(scale, seed)
+
+
+#: Table 2 of the paper: benchmark -> input.  Our proxies substitute the
+#: workloads; the paper's inputs are recorded for provenance.
+BENCHMARKS: Dict[str, Workload] = {
+    "gcc": Workload(
+        "gcc",
+        "pointer-chasing node list with tag dispatch (compiler flavour)",
+        "stmt-protoize.i",
+        profiles.build_gcc,
+        101,
+    ),
+    "go": Workload(
+        "go",
+        "board evaluation with data-dependent branches",
+        "train",
+        profiles.build_go,
+        202,
+    ),
+    "ijpeg": Workload(
+        "ijpeg",
+        "blocked multiply-rich dot products (image kernel flavour)",
+        "specmun.ppm (train)",
+        profiles.build_ijpeg,
+        303,
+    ),
+    "li": Workload(
+        "li",
+        "recursive binary-tree reduction (lisp interpreter flavour)",
+        "train.lsp",
+        profiles.build_li,
+        404,
+    ),
+    "perl": Workload(
+        "perl",
+        "byte-string hashing with open-addressing table",
+        "scrabbl.pl",
+        profiles.build_perl,
+        505,
+    ),
+    "vortex": Workload(
+        "vortex",
+        "hashed record store: 4-word inserts + validating lookups",
+        "train",
+        profiles.build_vortex,
+        606,
+    ),
+}
+
+#: Paper ordering of the benchmarks in every figure.
+BENCHMARK_ORDER: List[str] = ["gcc", "go", "ijpeg", "li", "perl", "vortex"]
+
+_trace_cache: Dict[Tuple[str, int, int], Tuple[Program, Trace]] = {}
+
+
+def load(name: str, scale: int = 30_000, seed: int = None) -> Program:
+    """Build the proxy program for benchmark ``name``.
+
+    Raises:
+        KeyError: for an unknown benchmark name.
+    """
+    return BENCHMARKS[name].build(scale, seed)
+
+
+def trace_for(
+    name: str, scale: int = 30_000, seed: int = None
+) -> Tuple[Program, Trace]:
+    """Program and dynamic trace for a benchmark (memoised)."""
+    workload = BENCHMARKS[name]
+    if seed is None:
+        seed = workload.default_seed
+    key = (name, scale, seed)
+    if key not in _trace_cache:
+        program = workload.build(scale, seed)
+        result = emulate(program, max_instructions=max(scale * 4, 100_000))
+        if result.trace is None:  # pragma: no cover - defensive
+            raise RuntimeError("emulator did not produce a trace")
+        _trace_cache[key] = (program, result.trace)
+    return _trace_cache[key]
+
+
+def clear_trace_cache() -> None:
+    """Drop memoised traces (tests that measure memory use call this)."""
+    _trace_cache.clear()
+
+
+def mix_report(trace: Trace) -> Dict[str, float]:
+    """Instruction-class mix of a trace (fractions of dynamic count)."""
+    total = len(trace)
+    if not total:
+        return {}
+    counts = {"load": 0, "store": 0, "branch": 0, "mul_div": 0, "alu": 0}
+    from ..isa.instructions import FUClass
+
+    for dyn in trace:
+        if dyn.is_load:
+            counts["load"] += 1
+        elif dyn.is_store:
+            counts["store"] += 1
+        elif dyn.is_branch:
+            counts["branch"] += 1
+        elif dyn.fu in (FUClass.INT_MULT, FUClass.INT_DIV):
+            counts["mul_div"] += 1
+        else:
+            counts["alu"] += 1
+    return {key: value / total for key, value in counts.items()}

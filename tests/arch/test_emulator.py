@@ -1,0 +1,265 @@
+"""Unit tests for the functional emulator (the architectural oracle)."""
+
+import pytest
+
+from repro.arch import EmulatorError, emulate
+from repro.isa import INST_SIZE, TEXT_BASE, assemble
+from repro.isa.instructions import Op
+from repro.isa.program import STACK_BASE
+from repro.isa.registers import REG_SP
+from repro.workloads import kernels
+
+
+class TestKernelCorrectness:
+    """Kernels with pure-Python references must match exactly."""
+
+    def test_vector_sum(self):
+        program, expected = kernels.vector_sum(n=40, seed=9)
+        assert emulate(program).output == [expected]
+
+    def test_fibonacci(self):
+        program, expected = kernels.fibonacci(30)
+        assert emulate(program).output == [expected]
+
+    def test_fibonacci_wraps_32_bits(self):
+        program, expected = kernels.fibonacci(60)
+        result = emulate(program)
+        assert result.output == [expected]
+        assert -(2**31) <= result.output[0] < 2**31
+
+    def test_recursive_fibonacci(self):
+        program, expected = kernels.fib_recursive(10)
+        assert emulate(program).output == [expected]
+
+    def test_bubble_sort_sorts_memory(self):
+        program, expected = kernels.bubble_sort(n=20, seed=4)
+        result = emulate(program)
+        assert result.output == [expected[0]]
+        # Verify the whole array in memory is sorted.
+        from repro.isa.program import DATA_BASE
+        values = [result.memory.load_word(DATA_BASE + 4 * i) for i in range(20)]
+        assert values == expected
+
+    def test_matmul_trace(self):
+        program, expected = kernels.matmul(n=5, seed=2)
+        assert emulate(program).output == [expected]
+
+    def test_string_hash(self):
+        program, expected = kernels.string_hash("hello world")
+        assert emulate(program).output == [expected]
+
+
+class TestExecutionControl:
+    def test_halt_stops_execution(self):
+        result = emulate(assemble("halt\nnop"))
+        assert result.halted
+        assert result.instructions == 1
+
+    def test_instruction_cap(self):
+        program = assemble("x: j x")
+        result = emulate(program, max_instructions=50)
+        assert not result.halted
+        assert result.instructions == 50
+
+    def test_jump_outside_text_raises(self):
+        program = assemble("li r1, 4\njr r1")  # address 4 < TEXT_BASE
+        with pytest.raises(EmulatorError):
+            emulate(program)
+
+    def test_sp_initialised(self):
+        result = emulate(assemble("halt"))
+        # sp was never written by the 1-instruction program.
+        assert result.regs[REG_SP] == STACK_BASE
+
+    def test_r0_stays_zero(self):
+        result = emulate(assemble("addi r0, r0, 99\nputint r0\nhalt"))
+        assert result.output == [0]
+
+    def test_putch_masks_to_byte(self):
+        result = emulate(assemble("li r1, 321\nputch r1\nhalt"))
+        assert result.output == [321 & 0xFF]
+
+
+class TestTraceContents:
+    def test_trace_length_matches_instruction_count(self, loop_program):
+        result = emulate(loop_program)
+        assert len(result.trace) == result.instructions
+
+    def test_trace_sequential_seq_numbers(self, loop_program):
+        trace = emulate(loop_program).trace
+        assert [dyn.seq for dyn in trace] == list(range(len(trace)))
+
+    def test_next_index_chains_the_trace(self, mixed_program):
+        trace = emulate(mixed_program).trace
+        for current, following in zip(trace, trace[1:]):
+            assert current.next_index == following.static_index
+
+    def test_branch_records_outcome_and_target(self):
+        program = assemble("""
+        main:
+            li r1, 1
+            beqz r1, skip     # not taken
+            bnez r1, skip     # taken
+            nop
+        skip:
+            halt
+        """)
+        trace = emulate(program).trace
+        branches = [d for d in trace if d.is_cond_branch]
+        assert [d.taken for d in branches] == [False, True]
+        assert branches[0].target_index == program.label("skip")
+
+    def test_load_records_effective_address_and_value(self):
+        program = assemble("""
+        .data
+        v: .word 77
+        .text
+        la r1, v
+        lw r2, 0(r1)
+        halt
+        """)
+        trace = emulate(program).trace
+        load = next(d for d in trace if d.is_load)
+        assert load.result == 77
+        from repro.isa.program import DATA_BASE
+        assert load.ea == DATA_BASE
+
+    def test_store_records_value(self):
+        program = assemble("""
+        .data
+        v: .space 4
+        .text
+        la r1, v
+        li r2, -9
+        sw r2, 0(r1)
+        halt
+        """)
+        trace = emulate(program).trace
+        store = next(d for d in trace if d.is_store)
+        assert store.store_value == -9
+
+    def test_operand_values_captured(self):
+        program = assemble("""
+        li r1, 6
+        li r2, 7
+        mul r3, r1, r2
+        halt
+        """)
+        trace = emulate(program).trace
+        mul = next(d for d in trace if d.op is Op.MUL)
+        assert (mul.a, mul.b, mul.result) == (6, 7, 42)
+
+    def test_jal_records_link_value(self):
+        program = assemble("""
+        main:
+            call fn
+            halt
+        fn:
+            ret
+        """)
+        trace = emulate(program).trace
+        jal = next(d for d in trace if d.op is Op.JAL)
+        assert jal.result == TEXT_BASE + 1 * INST_SIZE
+
+    def test_trace_disabled(self, loop_program):
+        result = emulate(loop_program, collect_trace=False)
+        assert result.trace is None
+        assert result.output == [5050]
+
+
+class TestInjectionHook:
+    def test_hook_can_corrupt_register_result(self):
+        program = assemble("""
+        li r1, 5
+        addi r2, r1, 1
+        putint r2
+        halt
+        """)
+        def flip(dyn):
+            if dyn.op is Op.ADDI and dyn.result == 6:
+                dyn.result = 999
+
+        result = emulate(program, inject=flip)
+        assert result.output == [999]
+
+    def test_hook_can_flip_branch_direction(self):
+        program = assemble("""
+        main:
+            li r1, 1
+            bnez r1, taken
+            putint r0
+            halt
+        taken:
+            li r2, 42
+            putint r2
+            halt
+        """)
+        def flip(dyn):
+            if dyn.is_cond_branch:
+                dyn.taken = not dyn.taken
+
+        clean = emulate(program)
+        corrupted = emulate(program, inject=flip)
+        assert clean.output == [42]
+        assert corrupted.output == [0]
+
+    def test_hook_corruption_propagates(self):
+        # A corrupted value feeds later instructions: the hallmark of SDC.
+        program = assemble("""
+        li r1, 10
+        addi r2, r1, 0
+        mul r3, r2, r2
+        putint r3
+        halt
+        """)
+        def flip(dyn):
+            if dyn.op is Op.ADDI:
+                dyn.result = 11
+
+        assert emulate(program, inject=flip).output == [121]
+
+    def test_hook_can_corrupt_store_value(self):
+        program = assemble("""
+        .data
+        v: .space 4
+        .text
+        la r1, v
+        li r2, 5
+        sw r2, 0(r1)
+        lw r3, 0(r1)
+        putint r3
+        halt
+        """)
+        def flip(dyn):
+            if dyn.is_store:
+                dyn.store_value = 123
+
+        assert emulate(program, inject=flip).output == [123]
+
+
+class TestRecursiveKernels:
+    def test_quicksort_sorts(self):
+        from repro.isa.program import DATA_BASE
+        program, expected = kernels.quicksort(40, seed=3)
+        result = emulate(program, max_instructions=500_000)
+        values = [result.memory.load_word(DATA_BASE + 4 * i)
+                  for i in range(40)]
+        assert values == expected
+        assert result.output == [expected[0], expected[-1]]
+
+    def test_quicksort_handles_duplicates(self):
+        from repro.isa.program import DATA_BASE
+        import random
+        # Force duplicates by sorting a tiny value range.
+        program, expected = kernels.quicksort(32, seed=8)
+        result = emulate(program, max_instructions=500_000)
+        assert result.halted
+
+    def test_binary_search_hit_count(self):
+        program, expected = kernels.binary_search(64, 40, seed=5)
+        assert emulate(program, max_instructions=200_000).output == [expected]
+
+    def test_binary_search_all_hits(self):
+        program, expected = kernels.binary_search(16, 10, seed=1)
+        result = emulate(program)
+        assert 0 <= result.output[0] <= 10

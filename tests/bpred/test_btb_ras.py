@@ -1,0 +1,77 @@
+"""Unit tests for the BTB and return-address stack."""
+
+import pytest
+
+from repro.bpred import BTB, ReturnAddressStack
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BTB(entries=16)
+        assert btb.lookup(0x1000) is None
+        btb.update(0x1000, 42)
+        assert btb.lookup(0x1000) == 42
+
+    def test_conflict_eviction(self):
+        btb = BTB(entries=4)
+        # Two PCs mapping to the same slot (stride = entries * 8 bytes).
+        a, b = 0x1000, 0x1000 + 4 * 8
+        btb.update(a, 1)
+        btb.update(b, 2)
+        assert btb.lookup(a) is None  # evicted by b
+        assert btb.lookup(b) == 2
+
+    def test_update_overwrites_target(self):
+        btb = BTB()
+        btb.update(0x1000, 5)
+        btb.update(0x1000, 9)
+        assert btb.lookup(0x1000) == 9
+
+    def test_hit_miss_counters(self):
+        btb = BTB()
+        btb.lookup(0x1000)
+        btb.update(0x1000, 3)
+        btb.lookup(0x1000)
+        assert btb.misses == 1 and btb.hits == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BTB(entries=100)
+
+
+class TestRAS:
+    def test_lifo_order(self):
+        ras = ReturnAddressStack()
+        ras.push(10)
+        ras.push(20)
+        assert ras.pop() == 20
+        assert ras.pop() == 10
+
+    def test_empty_pop_returns_none(self):
+        assert ReturnAddressStack().pop() is None
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(depth=2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert ras.overflows == 1
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None  # 1 was dropped
+
+    def test_counters(self):
+        ras = ReturnAddressStack()
+        ras.push(1)
+        ras.pop()
+        ras.pop()
+        assert ras.pushes == 1 and ras.pops == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(depth=0)
+
+    def test_len(self):
+        ras = ReturnAddressStack()
+        ras.push(1)
+        assert len(ras) == 1

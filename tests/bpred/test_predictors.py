@@ -1,0 +1,202 @@
+"""Unit tests for branch-direction predictors."""
+
+import pytest
+
+from repro.bpred import (
+    BimodalPredictor,
+    CombiningPredictor,
+    GSharePredictor,
+    PerfectPredictor,
+    StaticPredictor,
+    make_predictor,
+)
+
+
+PC = 0x1000
+PC2 = 0x1008
+
+
+class TestBimodal:
+    def test_initial_prediction_not_taken(self):
+        assert BimodalPredictor().predict(PC) is False
+
+    def test_learns_taken_after_two_updates(self):
+        predictor = BimodalPredictor()
+        predictor.update(PC, True)
+        assert predictor.predict(PC) is True  # weak NT + 1 = weak taken
+
+    def test_hysteresis(self):
+        predictor = BimodalPredictor()
+        for _ in range(4):
+            predictor.update(PC, True)   # saturate at strongly taken
+        predictor.update(PC, False)
+        assert predictor.predict(PC) is True  # one NT does not flip it
+        predictor.update(PC, False)
+        assert predictor.predict(PC) is False
+
+    def test_distinct_pcs_independent(self):
+        predictor = BimodalPredictor()
+        for _ in range(2):
+            predictor.update(PC, True)
+        assert predictor.predict(PC) is True
+        assert predictor.predict(PC2) is False
+
+    def test_loop_branch_accuracy(self):
+        # Pattern: taken 9x, not-taken 1x (a 10-iteration loop).
+        predictor = BimodalPredictor()
+        correct = 0
+        for _ in range(50):
+            for i in range(10):
+                taken = i != 9
+                correct += predictor.predict_and_update(PC, taken)== taken
+        assert correct / 500 > 0.85
+
+    def test_table_size_validation(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(table_size=1000)
+
+
+class TestGShare:
+    def test_learns_alternating_pattern(self):
+        # T,N,T,N... is history-predictable but defeats bimodal.
+        gshare = GSharePredictor()
+        bimodal = BimodalPredictor()
+        g_correct = b_correct = 0
+        for i in range(400):
+            taken = bool(i % 2)
+            g_correct += gshare.predict_and_update(PC, taken) == taken
+            b_correct += bimodal.predict_and_update(PC, taken) == taken
+        assert g_correct / 400 > 0.9
+        assert b_correct / 400 < 0.7
+
+    def test_history_register_updates(self):
+        gshare = GSharePredictor(history_bits=4)
+        for taken in (True, False, True, True):
+            gshare.update(PC, taken)
+        assert gshare.history == 0b1011
+
+    def test_history_bounded(self):
+        gshare = GSharePredictor(history_bits=4)
+        for _ in range(100):
+            gshare.update(PC, True)
+        assert gshare.history == 0b1111
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GSharePredictor(table_size=1000)
+        with pytest.raises(ValueError):
+            GSharePredictor(history_bits=0)
+
+
+class TestCombining:
+    def test_beats_or_matches_components_on_mixed_workload(self):
+        # Branch A: biased taken (bimodal-friendly).
+        # Branch B: alternating (gshare-friendly).
+        combining = CombiningPredictor()
+        correct = total = 0
+        for i in range(500):
+            for pc, taken in ((PC, True), (PC2, bool(i % 2))):
+                correct += combining.predict_and_update(pc, taken) == taken
+                total += 1
+        assert correct / total > 0.85
+
+    def test_components_trained_on_every_branch(self):
+        combining = CombiningPredictor()
+        # Enough updates for gshare's 12-bit history to saturate so it
+        # trains one stable table index.
+        for _ in range(20):
+            combining.update(PC, True)
+        assert combining.bimodal.predict(PC) is True
+        assert combining.gshare.predict(PC) is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CombiningPredictor(meta_size=100)
+
+
+class TestStaticAndPerfect:
+    def test_static_taken(self):
+        predictor = StaticPredictor(taken=True)
+        predictor.update(PC, False)
+        assert predictor.predict(PC) is True
+
+    def test_perfect_predicts_primed_outcome(self):
+        predictor = PerfectPredictor()
+        predictor.prime(True)
+        assert predictor.predict(PC) is True
+        predictor.prime(False)
+        assert predictor.predict(PC) is False
+
+
+class TestAccuracyTracking:
+    def test_accuracy_counter(self):
+        predictor = StaticPredictor(taken=True)
+        predictor.predict_and_update(PC, True)
+        predictor.predict_and_update(PC, False)
+        assert predictor.lookups == 2
+        assert predictor.accuracy == pytest.approx(0.5)
+
+    def test_accuracy_empty(self):
+        assert BimodalPredictor().accuracy == 0.0
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "kind,cls",
+        [
+            ("gshare", GSharePredictor),
+            ("bimodal", BimodalPredictor),
+            ("combining", CombiningPredictor),
+            ("taken", StaticPredictor),
+            ("nottaken", StaticPredictor),
+            ("perfect", PerfectPredictor),
+        ],
+    )
+    def test_known_kinds(self, kind, cls):
+        assert isinstance(make_predictor(kind), cls)
+
+    def test_kwargs_forwarded(self):
+        predictor = make_predictor("gshare", history_bits=8, table_size=256)
+        assert predictor.table_size == 256
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_predictor("neural")
+
+
+class TestLocal:
+    def test_learns_fixed_trip_count_loop(self):
+        from repro.bpred import LocalPredictor
+        # A 4-iteration loop branch: T,T,T,N repeating — local history
+        # predicts it perfectly once warmed; bimodal cannot.
+        local = LocalPredictor()
+        bimodal = BimodalPredictor()
+        l_correct = b_correct = 0
+        for _ in range(100):
+            for i in range(4):
+                taken = i != 3
+                l_correct += local.predict_and_update(PC, taken) == taken
+                b_correct += bimodal.predict_and_update(PC, taken) == taken
+        assert l_correct / 400 > 0.9
+        assert b_correct / 400 < 0.8
+
+    def test_histories_are_per_branch(self):
+        from repro.bpred import LocalPredictor
+        local = LocalPredictor()
+        local.update(PC, True)
+        local.update(PC2, False)
+        assert local.history_for(PC) == 1
+        assert local.history_for(PC2) == 0
+
+    def test_validation(self):
+        from repro.bpred import LocalPredictor
+        with pytest.raises(ValueError):
+            LocalPredictor(history_entries=100)
+        with pytest.raises(ValueError):
+            LocalPredictor(pattern_entries=0)
+        with pytest.raises(ValueError):
+            LocalPredictor(history_bits=0)
+
+    def test_factory(self):
+        from repro.bpred import LocalPredictor, make_predictor
+        assert isinstance(make_predictor("local"), LocalPredictor)

@@ -1,0 +1,85 @@
+"""Shared fixtures for the test suite.
+
+Timing-model tests run with deliberately small workloads (hundreds to a
+few thousand dynamic instructions): the pipeline's behaviour is fully
+exercised at that scale and the suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import emulate
+from repro.isa import assemble
+from repro.uarch import starting_config
+
+
+@pytest.fixture
+def cfg():
+    """The paper's Table 1 starting configuration."""
+    return starting_config()
+
+
+@pytest.fixture
+def loop_program():
+    """A small, verified loop program: sums 1..100 (= 5050)."""
+    source = """
+    .text
+    main:
+        li   r1, 100
+        li   r2, 0
+    loop:
+        add  r2, r2, r1
+        subi r1, r1, 1
+        bnez r1, loop
+        putint r2
+        halt
+    """
+    return assemble(source, name="sum100")
+
+
+@pytest.fixture
+def loop_trace(loop_program):
+    """(program, trace) for the sum-1..100 loop."""
+    result = emulate(loop_program)
+    assert result.output == [5050]
+    return loop_program, result.trace
+
+
+@pytest.fixture
+def mixed_program():
+    """A program exercising loads, stores, mul/div, branches and calls."""
+    source = """
+    .data
+    buf: .word 7, 3, 9, 1, 4, 8, 2, 6
+    out: .space 32
+    .text
+    main:
+        la   r1, buf
+        la   r2, out
+        li   r3, 8
+        li   r9, 0
+    loop:
+        lw   r4, 0(r1)
+        call square
+        div  r6, r5, r4
+        sw   r5, 0(r2)
+        add  r9, r9, r6
+        addi r1, r1, 4
+        addi r2, r2, 4
+        subi r3, r3, 1
+        bnez r3, loop
+        putint r9
+        halt
+    square:                 # r5 = r4 * r4
+        mul  r5, r4, r4
+        ret
+    """
+    return assemble(source, name="mixed")
+
+
+@pytest.fixture
+def mixed_trace(mixed_program):
+    result = emulate(mixed_program)
+    assert result.halted
+    return mixed_program, result.trace

@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scale_flag(self):
+        args = build_parser().parse_args(["--scale", "500", "list"])
+        assert args.scale == 500
+
+    def test_bench_validates_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "mcf"])
+
+    def test_figure_validates_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig9"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gcc" in out and "vortex" in out
+        assert "scrabbl.pl" in out  # Table 2 provenance
+
+    def test_bench(self, capsys):
+        assert main(["--scale", "1200", "bench", "go"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "reese" in out
+        assert "IPC ratio" in out
+
+    def test_faults(self, capsys):
+        code = main([
+            "--scale", "1500", "faults",
+            "--benchmark", "vortex", "--rate", "0.002", "--duration", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "errors detected" in out
+
+    def test_figure_runs_small(self, capsys, monkeypatch):
+        # Keep runtime sane: tiny scale; full 6-benchmark figure.
+        assert main(["--scale", "800", "figure", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "AV." in out
+        assert "Baseline" in out

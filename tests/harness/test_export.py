@@ -1,0 +1,69 @@
+"""Tests for machine-readable result export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.harness import run_figure
+from repro.harness.experiments import SERIES_BASELINE, figure2_spec
+from repro.harness.export import (
+    figure_to_csv,
+    figure_to_dict,
+    figure_to_json,
+    stats_to_dict,
+    write_figure,
+)
+from repro.harness.runner import run_benchmark
+from repro.uarch import starting_config
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    spec = figure2_spec()
+    small = spec.__class__(
+        spec.figure_id, spec.title, spec.series, benchmarks=("go", "vortex")
+    )
+    return run_figure(small, scale=1000)
+
+
+class TestStatsExport:
+    def test_json_serialisable(self):
+        stats = run_benchmark("go", starting_config(), scale=800)
+        payload = stats_to_dict(stats)
+        text = json.dumps(payload)  # must not raise
+        assert "ipc" in payload
+        assert json.loads(text)["committed"] == stats.committed
+
+
+class TestFigureExport:
+    def test_dict_structure(self, small_result):
+        data = figure_to_dict(small_result)
+        assert data["figure"] == "fig2"
+        assert data["benchmarks"] == ["go", "vortex"]
+        assert SERIES_BASELINE in data["average_ipc"]
+        assert SERIES_BASELINE not in data["gap_vs_baseline"]
+        assert data["cells"]["go"]["REESE"]["committed"] > 0
+
+    def test_json_roundtrip(self, small_result):
+        data = json.loads(figure_to_json(small_result))
+        assert data["scale"] == 1000
+
+    def test_csv_grid(self, small_result):
+        rows = list(csv.reader(io.StringIO(figure_to_csv(small_result))))
+        assert rows[0][0] == "benchmark"
+        assert rows[-1][0] == "AVG"
+        assert len(rows) == 1 + 2 + 1
+        # IPC cells parse as floats.
+        float(rows[1][1])
+
+    def test_write_figure(self, small_result, tmp_path):
+        written = write_figure(small_result, str(tmp_path))
+        assert set(written) == {"json", "csv"}
+        assert (tmp_path / "fig2.json").exists()
+        assert (tmp_path / "fig2.csv").exists()
+
+    def test_write_rejects_unknown_format(self, small_result, tmp_path):
+        with pytest.raises(ValueError):
+            write_figure(small_result, str(tmp_path), formats=("xml",))

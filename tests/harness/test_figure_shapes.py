@@ -1,0 +1,37 @@
+"""Additional harness-surface tests: bar charts on figures, summary path."""
+
+import pytest
+
+from repro.harness import run_figure
+from repro.harness.experiments import figure7_specs
+from repro.harness.reporting import figure_bar_chart, figure_report
+
+
+@pytest.fixture(scope="module")
+def fig7_small():
+    spec = figure7_specs()[0]
+    small = spec.__class__(
+        spec.figure_id, spec.title, spec.series,
+        benchmarks=("go", "vortex"), averages_only=True,
+    )
+    return run_figure(small, scale=1000)
+
+
+class TestAveragesOnlyFigures:
+    def test_rows_show_only_average(self, fig7_small):
+        rows = fig7_small.rows()
+        assert len(rows) == 2  # header + AVG
+        assert rows[1][0] == "AV."
+
+    def test_bar_chart_has_only_avg_group(self, fig7_small):
+        chart = figure_bar_chart(fig7_small)
+        assert "AV.:" in chart
+        assert "go:" not in chart
+
+    def test_report_includes_bars(self, fig7_small):
+        report = figure_report(fig7_small)
+        assert "#" in report
+        assert "ruu64" in report
+
+    def test_gap_computable(self, fig7_small):
+        assert -0.5 < fig7_small.gap("REESE") < 0.8

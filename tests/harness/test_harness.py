@@ -1,0 +1,151 @@
+"""Tests for the experiment harness: runner, specs, reporting, sweeps."""
+
+import os
+
+import pytest
+
+from repro.harness import (
+    FIGURES,
+    SERIES_BASELINE,
+    SERIES_R2A,
+    SERIES_REESE,
+    bench_scale,
+    figure2_spec,
+    figure5_spec,
+    figure7_specs,
+    format_table,
+    figure_report,
+    run_benchmark,
+    run_figure,
+    run_sweep,
+    spare_capacity_grid,
+)
+from repro.harness.experiments import SERIES_R2A1M
+from repro.uarch import starting_config
+
+TINY = 1200  # dynamic instructions: enough to exercise the machinery
+
+
+class TestBenchScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_INSTRUCTIONS", raising=False)
+        assert bench_scale() == 20_000
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_INSTRUCTIONS", "5000")
+        assert bench_scale() == 5000
+
+    def test_bad_env_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_INSTRUCTIONS", "not-a-number")
+        assert bench_scale() == 20_000
+        monkeypatch.setenv("REPRO_BENCH_INSTRUCTIONS", "-5")
+        assert bench_scale() == 20_000
+
+
+class TestRunner:
+    def test_run_benchmark_returns_stats(self):
+        stats = run_benchmark("go", starting_config(), scale=TINY)
+        assert stats.committed > 0
+        assert stats.halted
+
+    def test_reese_and_baseline_commit_same_count(self):
+        config = starting_config()
+        base = run_benchmark("vortex", config, scale=TINY)
+        reese = run_benchmark("vortex", config.with_reese(), scale=TINY)
+        assert base.committed == reese.committed
+
+
+class TestFigureSpecs:
+    def test_registry_complete(self):
+        assert set(FIGURES) == {"fig2", "fig3", "fig4", "fig5"}
+
+    def test_fig2_has_paper_series(self):
+        spec = figure2_spec()
+        assert spec.series_labels == [
+            SERIES_BASELINE, SERIES_REESE, "R+1 ALU", SERIES_R2A, SERIES_R2A1M,
+        ]
+        assert len(spec.benchmarks) == 6
+
+    def test_fig5_drops_mult_series(self):
+        # The paper omits R+2+1Mult in fig5 (identical to R+2 ALU).
+        assert SERIES_R2A1M not in figure5_spec().series_labels
+
+    def test_fig7_four_machines_averages_only(self):
+        specs = figure7_specs()
+        assert [s.figure_id for s in specs] == [
+            "fig7-ruu64", "fig7-ruu64+fus", "fig7-ruu256", "fig7-ruu256+fus",
+        ]
+        assert all(s.averages_only for s in specs)
+
+    def test_series_configs_have_expected_hardware(self):
+        spec = figure2_spec()
+        configs = dict(spec.series)
+        assert not configs[SERIES_BASELINE].reese.enabled
+        assert configs[SERIES_REESE].reese.enabled
+        assert configs[SERIES_R2A].int_alu == 6
+        assert configs[SERIES_R2A1M].int_mult == 2
+
+
+class TestRunFigure:
+    @pytest.fixture(scope="class")
+    def small_fig2(self):
+        spec = figure2_spec()
+        # Shrink to 2 benchmarks for speed; machinery is identical.
+        small = spec.__class__(
+            spec.figure_id, spec.title, spec.series,
+            benchmarks=("go", "vortex"),
+        )
+        return run_figure(small, scale=TINY)
+
+    def test_all_cells_filled(self, small_fig2):
+        for bench in small_fig2.spec.benchmarks:
+            for label in small_fig2.spec.series_labels:
+                assert small_fig2.ipc(bench, label) > 0
+
+    def test_average_and_gap(self, small_fig2):
+        base = small_fig2.average_ipc(SERIES_BASELINE)
+        assert base > 0
+        assert -0.3 <= small_fig2.gap(SERIES_REESE) <= 0.6
+
+    def test_rows_structure(self, small_fig2):
+        rows = small_fig2.rows()
+        assert rows[0][0] == "benchmark"
+        assert rows[-1][0] == "AV."
+        assert len(rows) == 1 + 2 + 1  # header + benchmarks + AVG
+
+    def test_report_renders(self, small_fig2):
+        text = figure_report(small_fig2)
+        assert "fig2" in text
+        assert "AV." in text
+        assert "vs baseline" in text
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table([["a", "bb"], ["ccc", "d"]])
+        lines = table.splitlines()
+        assert len(lines) == 3  # header + rule + row
+        assert lines[0].startswith("a")
+
+    def test_format_table_empty(self):
+        assert format_table([]) == ""
+
+
+class TestSweep:
+    def test_spare_capacity_grid_shape(self):
+        points = spare_capacity_grid(starting_config(), max_alu=2, max_mult=1)
+        labels = [label for label, _ in points]
+        assert labels[0] == "baseline"
+        assert "reese+0alu+0mult" in labels
+        assert "reese+2alu+1mult" in labels
+        assert len(points) == 1 + 3 * 2
+
+    def test_run_sweep(self):
+        points = [
+            ("baseline", starting_config()),
+            ("reese", starting_config().with_reese()),
+        ]
+        results = run_sweep(points, benchmarks=["go"], scale=TINY)
+        assert len(results) == 2
+        assert results[0].average_ipc > 0
+        assert results[0].stats["go"].halted

@@ -1,0 +1,309 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa import AsmError, DATA_BASE, REG_RA, REG_ZERO, assemble
+from repro.isa.instructions import Instruction, Op
+
+
+class TestBasicParsing:
+    def test_empty_source(self):
+        program = assemble("")
+        assert len(program) == 0
+
+    def test_comments_ignored(self):
+        program = assemble("""
+        # full-line comment
+        .text
+        nop        # trailing comment
+        halt       ; semicolon comment
+        """)
+        assert [inst.op for inst in program] == [Op.NOP, Op.HALT]
+
+    def test_three_operand_alu(self):
+        program = assemble("add r1, r2, r3")
+        assert program[0] == Instruction(Op.ADD, rd=1, rs1=2, rs2=3)
+
+    def test_immediate_forms(self):
+        program = assemble("""
+        addi r1, r2, -42
+        andi r3, r4, 0xff
+        """)
+        assert program[0].imm == -42
+        assert program[1].imm == 0xFF
+
+    def test_char_immediate(self):
+        program = assemble("addi r1, r0, 'a'")
+        assert program[0].imm == ord("a")
+
+    def test_memory_operands(self):
+        program = assemble("""
+        lw r1, 8(r2)
+        sw r3, -4(r4)
+        """)
+        load, store = program[0], program[1]
+        assert (load.rd, load.rs1, load.imm) == (1, 2, 8)
+        assert (store.rs2, store.rs1, store.imm) == (3, 4, -4)
+
+    def test_mnemonics_case_insensitive(self):
+        program = assemble("ADD r1, r2, r3")
+        assert program[0].op is Op.ADD
+
+
+class TestLabels:
+    def test_forward_and_backward_branch_targets(self):
+        program = assemble("""
+        start:
+            beq r1, r2, end
+            j start
+        end:
+            halt
+        """)
+        assert program[0].imm == 2  # 'end' is instruction index 2
+        assert program[1].imm == 0  # 'start' is index 0
+
+    def test_label_on_own_line(self):
+        program = assemble("""
+        loop:
+            nop
+            j loop
+        """)
+        assert program.label("loop") == 0
+
+    def test_multiple_labels_same_target(self):
+        program = assemble("""
+        a: b:
+            halt
+        """)
+        assert program.label("a") == program.label("b") == 0
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AsmError, match="duplicate"):
+            assemble("x:\nnop\nx:\nnop")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AsmError, match="undefined"):
+            assemble("j nowhere")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AsmError, match="line 3"):
+            assemble("nop\nnop\nbogus r1, r2")
+
+
+class TestDataSection:
+    def test_word_layout_from_data_base(self):
+        program = assemble("""
+        .data
+        a: .word 1, 2, 3
+        b: .word 4
+        .text
+        halt
+        """)
+        assert program.data[DATA_BASE] == 1
+        assert program.data[DATA_BASE + 8] == 3
+        assert program.data[DATA_BASE + 12] == 4
+
+    def test_space_reserves_aligned_bytes(self):
+        program = assemble("""
+        .data
+        a: .space 5
+        b: .word 9
+        .text
+        halt
+        """)
+        # .space 5 rounds to 8 bytes for word alignment.
+        assert program.data[DATA_BASE + 8] == 9
+
+    def test_align_directive(self):
+        program = assemble("""
+        .data
+        a: .word 1
+        .align 4
+        b: .word 2
+        .text
+        halt
+        """)
+        assert program.data[DATA_BASE + 16] == 2
+
+    def test_la_resolves_data_label(self):
+        program = assemble("""
+        .data
+        buf: .word 0
+        .text
+        la r1, buf
+        halt
+        """)
+        assert program[0].op is Op.ADDI
+        assert program[0].imm == DATA_BASE
+
+    def test_word_outside_data_rejected(self):
+        with pytest.raises(AsmError):
+            assemble(".text\n.word 5")
+
+    def test_instruction_in_data_rejected(self):
+        with pytest.raises(AsmError):
+            assemble(".data\nadd r1, r2, r3")
+
+    def test_negative_space_rejected(self):
+        with pytest.raises(AsmError):
+            assemble(".data\n.space -4")
+
+
+class TestPseudoInstructions:
+    def test_li(self):
+        program = assemble("li r5, 1234")
+        assert program[0] == Instruction(Op.ADDI, rd=5, rs1=REG_ZERO, imm=1234)
+
+    def test_mov(self):
+        program = assemble("mov r5, r6")
+        inst = program[0]
+        assert inst.op is Op.OR and inst.rs1 == 6 and inst.rs2 == REG_ZERO
+
+    def test_neg_and_not(self):
+        program = assemble("neg r1, r2\nnot r3, r4")
+        assert program[0].op is Op.SUB and program[0].rs2 == 2
+        assert program[1].op is Op.XORI and program[1].imm == -1
+
+    def test_subi(self):
+        program = assemble("subi r1, r2, 5")
+        assert program[0] == Instruction(Op.ADDI, rd=1, rs1=2, imm=-5)
+
+    def test_subi_negative(self):
+        program = assemble("subi r1, r2, -5")
+        assert program[0].imm == 5
+
+    def test_call_and_ret(self):
+        program = assemble("""
+        main:
+            call fn
+            halt
+        fn:
+            ret
+        """)
+        call, _, ret = program[0], program[1], program[2]
+        assert call.op is Op.JAL and call.rd == REG_RA and call.imm == 2
+        assert ret.op is Op.JR and ret.rs1 == REG_RA
+
+    def test_beqz_bnez(self):
+        program = assemble("""
+        x: beqz r1, x
+           bnez r2, x
+        """)
+        assert program[0].op is Op.BEQ and program[0].rs2 == REG_ZERO
+        assert program[1].op is Op.BNE
+
+    def test_ble_bgt_swap_operands(self):
+        program = assemble("""
+        x: ble r1, r2, x
+           bgt r1, r2, x
+        """)
+        ble, bgt = program[0], program[1]
+        assert ble.op is Op.BGE and (ble.rs1, ble.rs2) == (2, 1)
+        assert bgt.op is Op.BLT and (bgt.rs1, bgt.rs2) == (2, 1)
+
+    def test_b_alias_for_j(self):
+        program = assemble("x: b x")
+        assert program[0].op is Op.J
+
+    def test_pseudo_expansion_is_one_to_one(self):
+        # Each pseudo expands to exactly one instruction (keeps dynamic
+        # instruction counts predictable for workload calibration).
+        program = assemble("""
+        li r1, 5
+        mov r2, r1
+        subi r3, r2, 1
+        """)
+        assert len(program) == 3
+
+
+class TestOperandValidation:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "add r1, r2",            # missing operand
+            "add r1, r2, r3, r4",    # extra operand
+            "lw r1, r2",             # bad memory operand
+            "lw r1, 4(notareg)",     # bad register
+            "halt r1",               # operand on none-format
+            "bltz r1",               # missing target
+        ],
+    )
+    def test_bad_operands_rejected(self, source):
+        with pytest.raises(AsmError):
+            assemble(source)
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AsmError, match="unknown mnemonic"):
+            assemble("frobnicate r1, r2")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AsmError, match="unknown directive"):
+            assemble(".data\n.quad 5")
+
+
+class TestListing:
+    def test_listing_shows_labels_and_instructions(self):
+        program = assemble("""
+        main:
+            li r1, 5
+            halt
+        """)
+        listing = program.listing()
+        assert "main:" in listing
+        assert "addi r1, r0, 5" in listing
+        assert "halt" in listing
+
+
+class TestByteDirectives:
+    def test_byte_little_endian_packing(self):
+        program = assemble("""
+        .data
+        b: .byte 0x11, 0x22, 0x33, 0x44
+        .text
+        halt
+        """)
+        assert program.data[DATA_BASE] == 0x44332211
+
+    def test_byte_values_masked(self):
+        program = assemble("""
+        .data
+        b: .byte 0x1ff
+        .text
+        halt
+        """)
+        assert program.data[DATA_BASE] & 0xFF == 0xFF
+
+    def test_byte_realigns_for_next_word(self):
+        program = assemble("""
+        .data
+        b: .byte 1
+        w: .word 9
+        .text
+        halt
+        """)
+        assert program.data[DATA_BASE + 4] == 9
+
+    def test_asciiz_nul_terminated(self):
+        program = assemble("""
+        .data
+        s: .asciiz "ab"
+        .text
+        halt
+        """)
+        word = program.data[DATA_BASE]
+        assert word & 0xFF == ord("a")
+        assert (word >> 8) & 0xFF == ord("b")
+        assert (word >> 16) & 0xFF == 0
+
+    def test_asciiz_escapes(self):
+        program = assemble("""
+        .data
+        s: .asciiz "a\\n"
+        .text
+        halt
+        """)
+        assert (program.data[DATA_BASE] >> 8) & 0xFF == ord("\n")
+
+    def test_asciiz_requires_quotes(self):
+        with pytest.raises(AsmError):
+            assemble(".data\n.asciiz abc")

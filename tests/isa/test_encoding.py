@@ -1,0 +1,61 @@
+"""Unit tests for binary instruction encoding."""
+
+import pytest
+
+from repro.isa import NO_REG, decode, encode
+from repro.isa.instructions import Instruction, Op
+
+
+class TestEncodeDecode:
+    def test_roundtrip_simple(self):
+        inst = Instruction(Op.ADD, rd=1, rs1=2, rs2=3)
+        assert decode(encode(inst)) == inst
+
+    def test_roundtrip_negative_immediate(self):
+        inst = Instruction(Op.ADDI, rd=1, rs1=2, imm=-12345)
+        assert decode(encode(inst)) == inst
+
+    def test_roundtrip_extreme_immediates(self):
+        for imm in (-(2**31), 2**31 - 1, 0, -1):
+            inst = Instruction(Op.LUI, rd=5, imm=imm)
+            assert decode(encode(inst)).imm == imm
+
+    def test_roundtrip_no_reg_slots(self):
+        inst = Instruction(Op.J, imm=42)
+        decoded = decode(encode(inst))
+        assert decoded.rd == NO_REG
+        assert decoded.rs1 == NO_REG
+        assert decoded == inst
+
+    def test_roundtrip_fp_registers(self):
+        inst = Instruction(Op.FADD, rd=40, rs1=33, rs2=63)
+        assert decode(encode(inst)) == inst
+
+    def test_encoding_fits_64_bits(self):
+        inst = Instruction(Op.SW, rs1=63, rs2=63, imm=-1)
+        word = encode(inst)
+        assert 0 <= word < 2**64
+
+    def test_opcode_in_high_byte(self):
+        word = encode(Instruction(Op.HALT))
+        assert (word >> 56) == int(Op.HALT)
+
+
+class TestValidation:
+    def test_immediate_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            encode(Instruction(Op.ADDI, rd=1, rs1=2, imm=2**31))
+
+    def test_register_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            encode(Instruction(Op.ADD, rd=64, rs1=1, rs2=2))
+
+    def test_decode_bad_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            decode(0xFF << 56)
+
+    def test_decode_oversized_word_rejected(self):
+        with pytest.raises(ValueError):
+            decode(2**64)
+        with pytest.raises(ValueError):
+            decode(-1)

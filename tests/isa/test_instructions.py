@@ -1,0 +1,149 @@
+"""Unit tests for opcode metadata and the Instruction model."""
+
+import pytest
+
+from repro.isa import NO_REG, REG_RA
+from repro.isa.instructions import (
+    Fmt,
+    FUClass,
+    INST_SIZE,
+    Instruction,
+    MNEMONICS,
+    Op,
+    OPINFO,
+)
+
+
+class TestOpInfoTable:
+    def test_every_op_has_info(self):
+        for op in Op:
+            assert op in OPINFO, f"{op} missing from OPINFO"
+
+    def test_mnemonics_unique_and_complete(self):
+        assert len(MNEMONICS) == len(OPINFO)
+        assert MNEMONICS["add"] is Op.ADD
+        assert MNEMONICS["lw"] is Op.LW
+
+    def test_loads_classified(self):
+        for op in (Op.LW, Op.LB, Op.LBU, Op.LWF):
+            info = OPINFO[op]
+            assert info.is_load and not info.is_store
+            assert info.fu is FUClass.MEM_PORT
+
+    def test_stores_classified(self):
+        for op in (Op.SW, Op.SB, Op.SWF):
+            info = OPINFO[op]
+            assert info.is_store and not info.is_load
+            assert not info.writes_reg
+
+    def test_branches_classified(self):
+        for op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTZ, Op.BGEZ):
+            info = OPINFO[op]
+            assert info.is_branch and info.is_cond_branch
+            assert not info.writes_reg
+
+    def test_jumps_are_branches_not_conditional(self):
+        for op in (Op.J, Op.JAL, Op.JR, Op.JALR):
+            info = OPINFO[op]
+            assert info.is_branch and not info.is_cond_branch
+
+    def test_jal_writes_link_register(self):
+        assert OPINFO[Op.JAL].writes_reg
+        assert OPINFO[Op.JALR].writes_reg
+        assert not OPINFO[Op.J].writes_reg
+        assert not OPINFO[Op.JR].writes_reg
+
+    def test_mult_div_unit_classes(self):
+        assert OPINFO[Op.MUL].fu is FUClass.INT_MULT
+        assert OPINFO[Op.DIV].fu is FUClass.INT_DIV
+        assert OPINFO[Op.REM].fu is FUClass.INT_DIV
+
+    def test_fp_unit_classes(self):
+        assert OPINFO[Op.FADD].fu is FUClass.FP_ADD
+        assert OPINFO[Op.FMUL].fu is FUClass.FP_MULT
+        assert OPINFO[Op.FDIV].fu is FUClass.FP_DIV
+        assert OPINFO[Op.FSQRT].fu is FUClass.FP_DIV
+
+    def test_halt_flag(self):
+        assert OPINFO[Op.HALT].is_halt
+        assert OPINFO[Op.HALT].fu is FUClass.NONE
+
+    def test_nop_needs_no_unit(self):
+        assert OPINFO[Op.NOP].fu is FUClass.NONE
+        assert not OPINFO[Op.NOP].writes_reg
+
+
+class TestInstSize:
+    def test_pisa_style_8_bytes(self):
+        assert INST_SIZE == 8
+
+
+class TestInstruction:
+    def test_srcs_excludes_zero_register(self):
+        inst = Instruction(Op.ADD, rd=3, rs1=0, rs2=5)
+        assert inst.srcs() == (5,)
+
+    def test_srcs_excludes_unused(self):
+        inst = Instruction(Op.ADDI, rd=3, rs1=4, imm=7)
+        assert inst.srcs() == (4,)
+
+    def test_store_sources_include_base_and_data(self):
+        inst = Instruction(Op.SW, rs1=2, rs2=9, imm=4)
+        assert set(inst.srcs()) == {2, 9}
+
+    def test_dst_none_for_store(self):
+        inst = Instruction(Op.SW, rs1=2, rs2=9)
+        assert inst.dst() == NO_REG
+
+    def test_dst_none_for_write_to_zero(self):
+        inst = Instruction(Op.ADD, rd=0, rs1=1, rs2=2)
+        assert inst.dst() == NO_REG
+
+    def test_dst_for_alu(self):
+        inst = Instruction(Op.ADD, rd=7, rs1=1, rs2=2)
+        assert inst.dst() == 7
+
+    def test_equality_and_hash(self):
+        a = Instruction(Op.ADD, rd=1, rs1=2, rs2=3)
+        b = Instruction(Op.ADD, rd=1, rs1=2, rs2=3)
+        c = Instruction(Op.SUB, rd=1, rs1=2, rs2=3)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_flags_properties(self):
+        load = Instruction(Op.LW, rd=1, rs1=2, imm=4)
+        assert load.is_load and not load.is_store and not load.is_branch
+        branch = Instruction(Op.BEQ, rs1=1, rs2=2, imm=5)
+        assert branch.is_branch
+
+    @pytest.mark.parametrize(
+        "inst,expected",
+        [
+            (Instruction(Op.ADD, rd=1, rs1=2, rs2=3), "add r1, r2, r3"),
+            (Instruction(Op.ADDI, rd=1, rs1=2, imm=-5), "addi r1, r2, -5"),
+            (Instruction(Op.LW, rd=4, rs1=2, imm=8), "lw r4, 8(r2)"),
+            (Instruction(Op.SW, rs1=2, rs2=4, imm=8), "sw r4, 8(r2)"),
+            (Instruction(Op.BEQ, rs1=1, rs2=2, imm=7), "beq r1, r2, @7"),
+            (Instruction(Op.NOP), "nop"),
+            (Instruction(Op.JR, rs1=REG_RA), "jr r31"),
+        ],
+    )
+    def test_str_rendering(self, inst, expected):
+        assert str(inst) == expected
+
+    def test_every_format_renders(self):
+        # Smoke: str() must not raise for any opcode with dummy operands.
+        for op in Op:
+            inst = Instruction(op, rd=1, rs1=2, rs2=3, imm=4)
+            assert isinstance(str(inst), str)
+
+
+class TestFmtCoverage:
+    def test_all_formats_used(self):
+        used = {OPINFO[op].fmt for op in Op}
+        assert Fmt.RRR in used
+        assert Fmt.MEM_LOAD in used
+        assert Fmt.MEM_STORE in used
+        assert Fmt.BRANCH2 in used
+        assert Fmt.JUMP in used

@@ -1,0 +1,47 @@
+"""Unit tests for the Program container."""
+
+import pytest
+
+from repro.isa import INST_SIZE, TEXT_BASE, assemble
+from repro.isa.instructions import Instruction, Op
+from repro.isa.program import Program
+
+
+class TestProgram:
+    def test_pc_index_roundtrip(self):
+        program = Program([Instruction(Op.NOP)] * 10)
+        for index in range(10):
+            pc = program.pc_of(index)
+            assert pc == TEXT_BASE + index * INST_SIZE
+            assert program.index_of(pc) == index
+
+    def test_index_of_rejects_out_of_text(self):
+        program = Program([Instruction(Op.NOP)] * 2)
+        with pytest.raises(ValueError):
+            program.index_of(TEXT_BASE - INST_SIZE)
+        with pytest.raises(ValueError):
+            program.index_of(TEXT_BASE + 2 * INST_SIZE)
+
+    def test_index_of_rejects_misaligned(self):
+        program = Program([Instruction(Op.NOP)] * 2)
+        with pytest.raises(ValueError):
+            program.index_of(TEXT_BASE + 1)
+
+    def test_in_text(self):
+        program = Program([Instruction(Op.NOP)] * 3)
+        assert program.in_text(0) and program.in_text(2)
+        assert not program.in_text(-1)
+        assert not program.in_text(3)
+
+    def test_label_lookup(self):
+        program = assemble("x: nop\ny: halt")
+        assert program.label("y") == 1
+        with pytest.raises(KeyError):
+            program.label("z")
+
+    def test_iteration_and_indexing(self):
+        program = assemble("nop\nhalt")
+        ops = [inst.op for inst in program]
+        assert ops == [Op.NOP, Op.HALT]
+        assert program[1].op is Op.HALT
+        assert len(program) == 2

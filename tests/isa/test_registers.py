@@ -1,0 +1,90 @@
+"""Unit tests for the register-file definitions."""
+
+import pytest
+
+from repro.isa.registers import (
+    FP_BASE,
+    NO_REG,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    NUM_REGS,
+    REG_RA,
+    REG_SP,
+    REG_ZERO,
+    is_fp_reg,
+    parse_reg,
+    reg_name,
+)
+
+
+class TestConstants:
+    def test_table1_register_counts(self):
+        # Table 1: "32 GP, 32 FP".
+        assert NUM_INT_REGS == 32
+        assert NUM_FP_REGS == 32
+        assert NUM_REGS == 64
+
+    def test_fp_base_follows_int_regs(self):
+        assert FP_BASE == NUM_INT_REGS
+
+    def test_conventional_registers(self):
+        assert REG_ZERO == 0
+        assert REG_SP == 29
+        assert REG_RA == 31
+
+
+class TestRegName:
+    def test_int_names(self):
+        assert reg_name(0) == "r0"
+        assert reg_name(31) == "r31"
+
+    def test_fp_names(self):
+        assert reg_name(32) == "f0"
+        assert reg_name(63) == "f31"
+
+    def test_no_reg_placeholder(self):
+        assert reg_name(NO_REG) == "-"
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            reg_name(64)
+        with pytest.raises(ValueError):
+            reg_name(-2)
+
+
+class TestParseReg:
+    def test_int_parse(self):
+        assert parse_reg("r0") == 0
+        assert parse_reg("r31") == 31
+
+    def test_fp_parse(self):
+        assert parse_reg("f0") == 32
+        assert parse_reg("f31") == 63
+
+    def test_aliases(self):
+        assert parse_reg("zero") == REG_ZERO
+        assert parse_reg("sp") == REG_SP
+        assert parse_reg("ra") == REG_RA
+        assert parse_reg("fp") == 30
+
+    def test_case_and_whitespace_insensitive(self):
+        assert parse_reg(" R7 ") == 7
+        assert parse_reg("F3") == 35
+
+    @pytest.mark.parametrize("bad", ["r32", "f32", "x1", "r-1", "r", "", "r1a"])
+    def test_invalid_names_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_reg(bad)
+
+    def test_roundtrip_every_register(self):
+        for index in range(NUM_REGS):
+            assert parse_reg(reg_name(index)) == index
+
+
+class TestIsFpReg:
+    def test_boundaries(self):
+        assert not is_fp_reg(0)
+        assert not is_fp_reg(31)
+        assert is_fp_reg(32)
+        assert is_fp_reg(63)
+        assert not is_fp_reg(64)

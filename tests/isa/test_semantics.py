@@ -1,0 +1,196 @@
+"""Unit tests for the pure instruction semantics.
+
+These pin the architectural definition of every computational operation
+— including 32-bit wrap-around, C-style division, and the architected
+divide-by-zero behaviour — because both the P stream (emulator) and the
+R stream (REESE re-execution) evaluate through this single module.
+"""
+
+import math
+
+import pytest
+
+from repro.isa.instructions import Op
+from repro.isa.semantics import (
+    bits_to_float,
+    branch_taken,
+    compute,
+    effective_address,
+    float_to_bits,
+    has_compute,
+    to_i32,
+    to_u32,
+)
+
+
+class TestIntWidth:
+    def test_to_i32_positive(self):
+        assert to_i32(5) == 5
+        assert to_i32(0x7FFFFFFF) == 0x7FFFFFFF
+
+    def test_to_i32_wraps_negative(self):
+        assert to_i32(0x80000000) == -(2**31)
+        assert to_i32(0xFFFFFFFF) == -1
+
+    def test_to_i32_wraps_overflow(self):
+        assert to_i32(2**32 + 7) == 7
+        assert to_i32(2**31) == -(2**31)
+
+    def test_to_u32(self):
+        assert to_u32(-1) == 0xFFFFFFFF
+        assert to_u32(2**32) == 0
+
+
+class TestArithmetic:
+    def test_add_wraps(self):
+        assert compute(Op.ADD, 0x7FFFFFFF, 1) == -(2**31)
+
+    def test_sub(self):
+        assert compute(Op.SUB, 3, 10) == -7
+
+    def test_addi_uses_immediate(self):
+        assert compute(Op.ADDI, 10, 999, imm=-3) == 7
+
+    def test_logic_ops(self):
+        assert compute(Op.AND, 0b1100, 0b1010) == 0b1000
+        assert compute(Op.OR, 0b1100, 0b1010) == 0b1110
+        assert compute(Op.XOR, 0b1100, 0b1010) == 0b0110
+
+    def test_logic_with_negative_operands(self):
+        assert compute(Op.AND, -1, 0xFF) == 0xFF
+        assert compute(Op.OR, -2, 1) == -1
+
+    def test_shifts(self):
+        assert compute(Op.SLL, 1, 4) == 16
+        assert compute(Op.SRL, -1, 28) == 0xF
+        assert compute(Op.SRA, -16, 2) == -4
+
+    def test_shift_amount_masked_to_5_bits(self):
+        assert compute(Op.SLL, 1, 33) == compute(Op.SLL, 1, 1)
+        assert compute(Op.SLLI, 1, 0, imm=32) == 1
+
+    def test_set_less_than(self):
+        assert compute(Op.SLT, -1, 0) == 1
+        assert compute(Op.SLT, 0, -1) == 0
+        assert compute(Op.SLTU, -1, 0) == 0  # unsigned: 0xffffffff > 0
+        assert compute(Op.SLTI, 4, 0, imm=5) == 1
+
+    def test_lui_shifts_16(self):
+        assert compute(Op.LUI, 0, 0, imm=1) == 0x10000
+        assert compute(Op.LUI, 0, 0, imm=0x8000) == to_i32(0x80000000)
+
+
+class TestMulDiv:
+    def test_mul_wraps(self):
+        assert compute(Op.MUL, 0x10000, 0x10000) == 0
+
+    def test_mul_signed(self):
+        assert compute(Op.MUL, -3, 7) == -21
+
+    def test_mulhu(self):
+        assert compute(Op.MULHU, 0x80000000, 2) == 1
+
+    def test_div_truncates_toward_zero(self):
+        assert compute(Op.DIV, 7, 2) == 3
+        assert compute(Op.DIV, -7, 2) == -3
+        assert compute(Op.DIV, 7, -2) == -3
+
+    def test_rem_sign_follows_dividend(self):
+        assert compute(Op.REM, 7, 2) == 1
+        assert compute(Op.REM, -7, 2) == -1
+
+    def test_div_rem_identity(self):
+        for a in (-17, -1, 0, 5, 123456):
+            for b in (-7, -2, 1, 3, 1000):
+                q = compute(Op.DIV, a, b)
+                r = compute(Op.REM, a, b)
+                assert to_i32(q * b + r) == to_i32(a)
+
+    def test_divide_by_zero_architected(self):
+        # No trap: quotient 0, remainder = dividend.
+        assert compute(Op.DIV, 42, 0) == 0
+        assert compute(Op.REM, 42, 0) == 42
+
+
+class TestFloat:
+    def test_fadd(self):
+        assert compute(Op.FADD, 1.5, 2.25) == 3.75
+
+    def test_fdiv_by_zero_is_inf(self):
+        assert compute(Op.FDIV, 1.0, 0.0) == math.inf
+
+    def test_fsqrt_of_negative_uses_abs(self):
+        assert compute(Op.FSQRT, -4.0, 0.0) == 2.0
+
+    def test_fcmplt_returns_int(self):
+        assert compute(Op.FCMPLT, 1.0, 2.0) == 1
+        assert compute(Op.FCMPLT, 2.0, 1.0) == 0
+
+    def test_conversions(self):
+        assert compute(Op.CVTIF, 7, 0) == 7.0
+        assert compute(Op.CVTFI, 7.9, 0) == 7
+        assert compute(Op.CVTFI, -7.9, 0) == -7
+
+    def test_float_bits_roundtrip(self):
+        for value in (0.0, -0.0, 1.5, -math.pi, 1e300, 5e-324):
+            assert bits_to_float(float_to_bits(value)) == value
+
+    def test_float_bits_of_one(self):
+        assert float_to_bits(1.0) == 0x3FF0000000000000
+
+
+class TestBranches:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            (Op.BEQ, 5, 5, True),
+            (Op.BEQ, 5, 6, False),
+            (Op.BNE, 5, 6, True),
+            (Op.BLT, -1, 0, True),
+            (Op.BLT, 0, 0, False),
+            (Op.BGE, 0, 0, True),
+            (Op.BGE, -1, 0, False),
+            (Op.BLTZ, -1, 0, True),
+            (Op.BLTZ, 0, 0, False),
+            (Op.BGEZ, 0, 0, True),
+        ],
+    )
+    def test_conditions(self, op, a, b, expected):
+        assert branch_taken(op, a, b) is expected
+
+    def test_unconditional_always_taken(self):
+        for op in (Op.J, Op.JAL, Op.JR, Op.JALR):
+            assert branch_taken(op) is True
+
+    def test_wrapped_comparison(self):
+        # 0x80000000 is negative in two's complement.
+        assert branch_taken(Op.BLT, 0x80000000, 0)
+
+    def test_non_branch_raises(self):
+        with pytest.raises(KeyError):
+            branch_taken(Op.ADD, 1, 2)
+
+
+class TestEffectiveAddress:
+    def test_simple(self):
+        assert effective_address(0x1000, 8) == 0x1008
+
+    def test_negative_offset(self):
+        assert effective_address(0x1000, -8) == 0xFF8
+
+    def test_wraps_32_bits(self):
+        assert effective_address(0xFFFFFFFC, 8) == 4
+
+
+class TestHasCompute:
+    def test_alu_ops_have_compute(self):
+        assert has_compute(Op.ADD)
+        assert has_compute(Op.FMUL)
+
+    def test_memory_and_control_do_not(self):
+        for op in (Op.LW, Op.SW, Op.BEQ, Op.J, Op.HALT, Op.NOP, Op.PUTINT):
+            assert not has_compute(op)
+
+    def test_compute_raises_for_unsupported(self):
+        with pytest.raises(KeyError):
+            compute(Op.LW, 1, 2)

@@ -1,0 +1,96 @@
+"""Unit tests for the assembled memory hierarchy and TLB."""
+
+import pytest
+
+from repro.memhier import MemHierParams, MemoryHierarchy, TLB
+from repro.memhier.cache import CacheParams
+
+
+class TestTable1Defaults:
+    def test_l1_caches_match_table1(self):
+        params = MemHierParams()
+        assert params.l1d.size == 32 * 1024
+        assert params.l1d.assoc == 2
+        assert params.l1d.hit_latency == 2
+        assert params.l1i.size == 32 * 1024
+        assert params.l1i.hit_latency == 2
+
+    def test_l2_matches_table1(self):
+        params = MemHierParams()
+        assert params.l2.size == 512 * 1024
+        assert params.l2.assoc == 4
+        assert params.l2.hit_latency == 12
+
+
+class TestHierarchy:
+    def test_l2_shared_between_i_and_d(self):
+        hierarchy = MemoryHierarchy()
+        assert hierarchy.l1i.next_level is hierarchy.l2
+        assert hierarchy.l1d.next_level is hierarchy.l2
+
+    def test_ifetch_warms_l2_for_data(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.ifetch(0x4000)               # pulls line into L1I and L2
+        # Same line via the D side: L1D misses, L2 hits (plus a cold TLB
+        # translation, which is orthogonal to the cache contents).
+        latency = hierarchy.daccess(0x4000)
+        assert latency <= hierarchy.params.tlb_miss_penalty + 2 + 12
+
+    def test_daccess_includes_tlb_penalty(self):
+        hierarchy = MemoryHierarchy()
+        first = hierarchy.daccess(0x10000)
+        second = hierarchy.daccess(0x10000)
+        assert first - second >= hierarchy.params.tlb_miss_penalty
+
+    def test_tlb_disabled(self):
+        hierarchy = MemoryHierarchy(MemHierParams(use_tlb=False))
+        assert hierarchy.dtlb is None
+        cold = hierarchy.daccess(0x10000)
+        assert cold == 2 + 12 + hierarchy.params.memory_latency
+
+    def test_r_stream_hit_latency(self):
+        hierarchy = MemoryHierarchy()
+        assert hierarchy.l1d_hit_latency() == 2
+
+    def test_stat_dict_structure(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.daccess(0x1000)
+        stats = hierarchy.stat_dict()
+        assert stats["l1d"]["misses"] == 1
+        assert "dtlb" in stats
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb = TLB(entries=8, assoc=2, page_size=4096, miss_penalty=30)
+        assert tlb.access(0x1000) == 30
+        assert tlb.access(0x1FFF) == 0   # same page
+        assert tlb.access(0x2000) == 30  # next page
+
+    def test_lru_within_set(self):
+        tlb = TLB(entries=2, assoc=2, page_size=4096, miss_penalty=30)
+        pages = [0x1000, 0x2000, 0x3000]
+        tlb.access(pages[0])
+        tlb.access(pages[1])
+        tlb.access(pages[0])      # refresh page 0
+        tlb.access(pages[2])      # evicts page 1
+        assert tlb.access(pages[0]) == 0
+        assert tlb.access(pages[1]) == 30
+
+    def test_miss_rate(self):
+        tlb = TLB()
+        tlb.access(0x1000)
+        tlb.access(0x1000)
+        assert tlb.miss_rate == pytest.approx(0.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(entries=6, assoc=4),      # not divisible
+            dict(page_size=3000),          # not pow2
+            dict(entries=24, assoc=2),     # 12 sets: not pow2
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TLB(**kwargs)

@@ -1,0 +1,69 @@
+"""Property-based tests for cache invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memhier import Cache, CacheParams
+
+addresses = st.integers(min_value=0, max_value=2**20 - 1)
+traces = st.lists(addresses, min_size=1, max_size=300)
+
+
+def lru_cache():
+    return Cache(CacheParams("p", 512, 2, 32, 2), miss_latency=50)
+
+
+class TestCacheInvariants:
+    @given(traces)
+    @settings(max_examples=100)
+    def test_accesses_equal_hits_plus_misses(self, trace):
+        cache = lru_cache()
+        for addr in trace:
+            cache.access(addr)
+        assert cache.accesses == len(trace)
+        assert cache.hits + cache.misses == len(trace)
+
+    @given(traces)
+    @settings(max_examples=100)
+    def test_immediate_reaccess_always_hits(self, trace):
+        cache = lru_cache()
+        for addr in trace:
+            cache.access(addr)
+            assert cache.probe(addr), "just-accessed line must be present"
+
+    @given(traces)
+    @settings(max_examples=100)
+    def test_latency_is_hit_or_miss_path(self, trace):
+        cache = lru_cache()
+        for addr in trace:
+            latency = cache.access(addr)
+            assert latency in (2, 52)  # hit, or hit+memory
+
+    @given(traces)
+    @settings(max_examples=50)
+    def test_misses_bounded_by_unique_lines_when_fitting(self, trace):
+        # With a working set that fits, misses == distinct lines touched.
+        cache = Cache(CacheParams("big", 2**16, 4, 32, 2))
+        small_trace = [addr % 4096 for addr in trace]  # fits easily
+        for addr in small_trace:
+            cache.access(addr)
+        unique_lines = len({addr // 32 for addr in small_trace})
+        assert cache.misses == unique_lines
+
+    @given(traces)
+    @settings(max_examples=50)
+    def test_deterministic(self, trace):
+        def run():
+            cache = lru_cache()
+            return [cache.access(addr) for addr in trace]
+        assert run() == run()
+
+    @given(traces, st.sampled_from(["lru", "fifo", "random"]))
+    @settings(max_examples=60)
+    def test_policies_all_satisfy_basic_invariants(self, trace, policy):
+        cache = Cache(CacheParams("p", 512, 2, 32, 2, policy))
+        for addr in trace:
+            cache.access(addr)
+        assert cache.hits + cache.misses == len(trace)
+        assert cache.evictions <= cache.misses
+        assert cache.writebacks <= cache.evictions

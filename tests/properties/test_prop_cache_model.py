@@ -1,0 +1,90 @@
+"""Stateful model check: the LRU cache against a reference model.
+
+The reference keeps, per set, an ordered list of resident tags (most
+recently used last).  Every access outcome (hit/miss) and the resident
+set must match the production cache exactly, across arbitrary access
+sequences.
+"""
+
+from collections import OrderedDict
+from typing import Dict
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.memhier import Cache, CacheParams
+
+SIZE = 256
+ASSOC = 2
+LINE = 32
+N_SETS = SIZE // (ASSOC * LINE)  # 4 sets
+
+
+class _RefLRU:
+    """Reference: per-set OrderedDict of tags (LRU first)."""
+
+    def __init__(self) -> None:
+        self.sets: Dict[int, "OrderedDict[int, bool]"] = {
+            index: OrderedDict() for index in range(N_SETS)
+        }
+
+    def access(self, addr: int, is_write: bool) -> bool:
+        block = addr // LINE
+        set_index = block % N_SETS
+        tag = block // N_SETS
+        entries = self.sets[set_index]
+        if tag in entries:
+            entries.move_to_end(tag)
+            if is_write:
+                entries[tag] = True
+            return True
+        entries[tag] = is_write
+        if len(entries) > ASSOC:
+            entries.popitem(last=False)
+        return False
+
+    def resident(self, addr: int) -> bool:
+        block = addr // LINE
+        return (block // N_SETS) in self.sets[block % N_SETS]
+
+
+class CacheModelMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.cache = Cache(CacheParams("mc", SIZE, ASSOC, LINE, 2),
+                           miss_latency=50)
+        self.reference = _RefLRU()
+        self.touched = set()
+
+    @rule(
+        addr=st.integers(min_value=0, max_value=4095),
+        is_write=st.booleans(),
+    )
+    def access(self, addr, is_write):
+        expected_hit = self.reference.access(addr, is_write)
+        latency = self.cache.access(addr, is_write=is_write)
+        actual_hit = latency == 2
+        assert actual_hit == expected_hit, (
+            f"addr={addr:#x} write={is_write}: "
+            f"cache {'hit' if actual_hit else 'miss'}, "
+            f"reference {'hit' if expected_hit else 'miss'}"
+        )
+        self.touched.add(addr)
+
+    @invariant()
+    def residency_matches(self):
+        for addr in list(self.touched)[:32]:
+            assert self.cache.probe(addr) == self.reference.resident(addr)
+
+    @invariant()
+    def counters_consistent(self):
+        assert self.cache.hits + self.cache.misses == len(
+            [1 for _ in range(self.cache.accesses)]
+        )
+
+
+TestCacheAgainstModel = CacheModelMachine.TestCase
+TestCacheAgainstModel.settings = settings(
+    max_examples=40, stateful_step_count=80, deadline=None
+)

@@ -1,0 +1,40 @@
+"""Property-based tests: instruction encoding is lossless."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import NO_REG, decode, encode
+from repro.isa.instructions import Instruction, Op
+
+regs = st.one_of(st.just(NO_REG), st.integers(min_value=0, max_value=63))
+imms = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+
+
+@st.composite
+def instructions(draw):
+    return Instruction(
+        draw(st.sampled_from(list(Op))),
+        rd=draw(regs),
+        rs1=draw(regs),
+        rs2=draw(regs),
+        imm=draw(imms),
+    )
+
+
+class TestEncodingProperties:
+    @given(instructions())
+    def test_roundtrip(self, inst):
+        assert decode(encode(inst)) == inst
+
+    @given(instructions())
+    def test_word_is_64_bit(self, inst):
+        assert 0 <= encode(inst) < 2**64
+
+    @given(instructions(), instructions())
+    def test_injective(self, a, b):
+        if a != b:
+            assert encode(a) != encode(b)
+
+    @given(instructions())
+    def test_encoding_deterministic(self, inst):
+        assert encode(inst) == encode(inst)

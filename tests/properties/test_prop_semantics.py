@@ -1,0 +1,103 @@
+"""Property-based tests for instruction semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.instructions import Op
+from repro.isa.semantics import (
+    bits_to_float,
+    branch_taken,
+    compute,
+    float_to_bits,
+    to_i32,
+    to_u32,
+)
+
+i32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+any_int = st.integers(min_value=-(2**40), max_value=2**40)
+
+
+class TestWidthProperties:
+    @given(any_int)
+    def test_to_i32_in_range(self, value):
+        result = to_i32(value)
+        assert -(2**31) <= result < 2**31
+
+    @given(any_int)
+    def test_to_i32_idempotent(self, value):
+        assert to_i32(to_i32(value)) == to_i32(value)
+
+    @given(any_int)
+    def test_i32_u32_congruent_mod_2_32(self, value):
+        assert to_i32(value) % 2**32 == to_u32(value)
+
+
+class TestAlgebraicProperties:
+    @given(i32, i32)
+    def test_add_commutes(self, a, b):
+        assert compute(Op.ADD, a, b) == compute(Op.ADD, b, a)
+
+    @given(i32, i32)
+    def test_add_sub_inverse(self, a, b):
+        assert compute(Op.SUB, compute(Op.ADD, a, b), b) == a
+
+    @given(i32)
+    def test_xor_self_is_zero(self, a):
+        assert compute(Op.XOR, a, a) == 0
+
+    @given(i32, i32)
+    def test_mul_commutes(self, a, b):
+        assert compute(Op.MUL, a, b) == compute(Op.MUL, b, a)
+
+    @given(i32, i32)
+    def test_div_rem_reconstruct(self, a, b):
+        q = compute(Op.DIV, a, b)
+        r = compute(Op.REM, a, b)
+        if b != 0:
+            assert to_i32(q * b + r) == a
+        else:
+            assert (q, r) == (0, a)
+
+    @given(i32, st.integers(min_value=0, max_value=31))
+    def test_shift_left_right_bounds(self, a, shamt):
+        shifted = compute(Op.SLL, a, shamt)
+        assert -(2**31) <= shifted < 2**31
+
+    @given(i32)
+    def test_sra_preserves_sign(self, a):
+        result = compute(Op.SRA, a, 4)
+        assert (result < 0) == (a < 0) or result == 0
+
+    @given(i32, i32)
+    def test_results_always_32_bit(self, a, b):
+        for op in (Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.MUL,
+                   Op.DIV, Op.REM, Op.SLT, Op.SLTU):
+            result = compute(op, a, b)
+            assert -(2**31) <= result < 2**31
+
+
+class TestBranchProperties:
+    @given(i32, i32)
+    def test_beq_bne_complementary(self, a, b):
+        assert branch_taken(Op.BEQ, a, b) != branch_taken(Op.BNE, a, b)
+
+    @given(i32, i32)
+    def test_blt_bge_complementary(self, a, b):
+        assert branch_taken(Op.BLT, a, b) != branch_taken(Op.BGE, a, b)
+
+    @given(i32)
+    def test_bltz_matches_blt_zero(self, a):
+        assert branch_taken(Op.BLTZ, a, 0) == branch_taken(Op.BLT, a, 0)
+
+
+class TestFloatBits:
+    @given(st.floats(allow_nan=False))
+    def test_roundtrip(self, value):
+        assert bits_to_float(float_to_bits(value)) == value
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    @settings(max_examples=200)
+    def test_bits_roundtrip(self, bits):
+        value = bits_to_float(bits)
+        # NaN payloads round-trip bit-exactly too.
+        assert float_to_bits(value) == bits

@@ -1,0 +1,48 @@
+"""Unit tests for the retry/stop recovery policy."""
+
+import pytest
+
+from repro.reese import RetryTracker, UnrecoverableFaultError
+
+
+class TestRetryTracker:
+    def test_first_failure_recoverable(self):
+        tracker = RetryTracker(max_retry=2)
+        assert tracker.record_failure(10) is False
+
+    def test_exceeding_budget_stops(self):
+        tracker = RetryTracker(max_retry=2)
+        assert tracker.record_failure(10) is False
+        assert tracker.record_failure(10) is False
+        assert tracker.record_failure(10) is True
+
+    def test_different_instruction_resets_streak(self):
+        tracker = RetryTracker(max_retry=1)
+        assert tracker.record_failure(10) is False
+        assert tracker.record_failure(11) is False  # new seq: fresh streak
+        assert tracker.record_failure(11) is True
+
+    def test_success_clears_streak(self):
+        tracker = RetryTracker(max_retry=1)
+        tracker.record_failure(10)
+        tracker.record_success(10)
+        assert tracker.record_failure(10) is False
+
+    def test_success_of_other_seq_keeps_streak(self):
+        tracker = RetryTracker(max_retry=1)
+        tracker.record_failure(10)
+        tracker.record_success(11)
+        assert tracker.record_failure(10) is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryTracker(max_retry=0)
+
+
+class TestUnrecoverableError:
+    def test_message_carries_details(self):
+        error = UnrecoverableFaultError(seq=42, attempts=3)
+        assert error.seq == 42
+        assert error.attempts == 3
+        assert "42" in str(error)
+        assert "not transient" in str(error)

@@ -1,0 +1,127 @@
+"""Tests for the pipeline tracer (ptrace)."""
+
+import pytest
+
+from repro.arch import emulate
+from repro.isa import assemble
+from repro.uarch import Pipeline, starting_config
+from repro.uarch.ptrace import PipeTrace
+
+
+@pytest.fixture
+def traced_run(loop_trace):
+    program, trace = loop_trace
+    tracer = PipeTrace(max_records=128)
+    stats = Pipeline(
+        program, trace, starting_config(), observer=tracer
+    ).run()
+    return tracer, stats
+
+
+class TestStageTimelines:
+    def test_records_created(self, traced_run):
+        tracer, _ = traced_run
+        assert len(tracer) > 0
+        assert tracer.events > 0
+
+    def test_stage_order_monotonic(self, traced_run):
+        tracer, _ = traced_run
+        for seq in list(tracer._records)[:50]:
+            record = tracer.record_for(seq)
+            stages = record.stages
+            order = ["F", "D", "I", "X", "C"]
+            present = [stages[s] for s in order if s in stages]
+            assert present == sorted(present), record.op
+
+    def test_committed_instructions_reach_commit_stage(self, traced_run):
+        tracer, _ = traced_run
+        committed = [
+            r for r in tracer._records.values()
+            if "C" in r.stages
+        ]
+        assert committed
+        for record in committed:
+            assert not record.wrong_path
+
+    def test_render(self, traced_run):
+        tracer, _ = traced_run
+        text = tracer.render(limit=10)
+        assert "seq" in text
+        assert "addi" in text or "add" in text
+
+    def test_max_records_bounds_memory(self, loop_trace):
+        program, trace = loop_trace
+        tracer = PipeTrace(max_records=5)
+        Pipeline(program, trace, starting_config(), observer=tracer).run()
+        assert len(tracer) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipeTrace(max_records=0)
+
+
+class TestReeseEvents:
+    def test_rqueue_and_r_issue_recorded(self, loop_trace):
+        program, trace = loop_trace
+        tracer = PipeTrace(max_records=256)
+        Pipeline(
+            program, trace, starting_config().with_reese(),
+            observer=tracer,
+        ).run()
+        with_queue = [
+            r for r in tracer._records.values() if "Q" in r.stages
+        ]
+        with_r = [r for r in tracer._records.values() if "R" in r.stages]
+        assert with_queue
+        assert with_r
+        for record in with_r:
+            # Redundant issue strictly after queue insertion.
+            assert record.stages["R"] >= record.stages["Q"]
+
+    def test_recovery_events_recorded(self):
+        from repro.reese import ScheduledFaultModel
+        from repro.workloads.suite import trace_for
+        program, trace = trace_for("vortex", scale=3000)
+        tracer = PipeTrace()
+        model = ScheduledFaultModel([(c, 2, 9) for c in range(50, 600, 50)])
+        Pipeline(
+            program, trace, starting_config().with_reese(),
+            fault_model=model, observer=tracer,
+            warm_caches=True, warm_predictor=True,
+        ).run()
+        assert tracer.recoveries
+        assert "recoveries at cycles" in tracer.render(limit=1)
+
+
+class TestWrongPathVisibility:
+    def test_squashed_wrong_path_marked(self):
+        source = """
+        main:
+            li   r1, 120
+            li   r2, 99991
+            li   r5, 1103515245
+        loop:
+            mul  r2, r2, r5
+            addi r2, r2, 12345
+            srli r3, r2, 9
+            andi r3, r3, 1
+            beqz r3, skip
+            addi r6, r6, 1
+        skip:
+            subi r1, r1, 1
+            bnez r1, loop
+            halt
+        """
+        program = assemble(source)
+        trace = emulate(program).trace
+        tracer = PipeTrace(max_records=2048)
+        stats = Pipeline(
+            program, trace, starting_config(), observer=tracer
+        ).run()
+        assert stats.mispredictions > 0
+        wrong_path = [
+            r for r in tracer._records.values() if r.wrong_path
+        ]
+        assert wrong_path
+        rendered = tracer.render()
+        assert "wrong-path" in rendered

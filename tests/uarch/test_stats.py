@@ -1,0 +1,51 @@
+"""Unit tests for the statistics container."""
+
+import pytest
+
+from repro.uarch import Stats
+
+
+class TestDerivedMetrics:
+    def test_ipc(self):
+        stats = Stats()
+        stats.cycles = 100
+        stats.committed = 250
+        assert stats.ipc == pytest.approx(2.5)
+
+    def test_ipc_zero_cycles(self):
+        assert Stats().ipc == 0.0
+
+    def test_misprediction_rate(self):
+        stats = Stats()
+        stats.cond_branches = 10
+        stats.mispredictions = 3
+        assert stats.misprediction_rate == pytest.approx(0.3)
+
+    def test_rqueue_mean_occupancy(self):
+        stats = Stats()
+        stats.cycles = 4
+        stats.rqueue_occ_sum = 10
+        assert stats.rqueue_mean_occupancy == pytest.approx(2.5)
+
+
+class TestReporting:
+    def test_to_dict_contains_counters_and_derived(self):
+        stats = Stats()
+        stats.cycles = 10
+        stats.committed = 15
+        data = stats.to_dict()
+        assert data["cycles"] == 10
+        assert data["ipc"] == pytest.approx(1.5)
+        assert "misprediction_rate" in data
+
+    def test_summary_mentions_ipc(self):
+        stats = Stats()
+        stats.cycles = 10
+        stats.committed = 20
+        assert "IPC=2.000" in stats.summary()
+
+    def test_summary_shows_detection_when_present(self):
+        stats = Stats()
+        stats.cycles = 1
+        stats.errors_detected = 2
+        assert "detected=2" in stats.summary()

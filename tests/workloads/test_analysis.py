@@ -1,0 +1,181 @@
+"""Unit tests for trace characterisation."""
+
+import pytest
+
+from repro.arch import emulate
+from repro.isa import assemble
+from repro.workloads import BENCHMARK_ORDER, kernels
+from repro.workloads.analysis import analyze_trace
+from repro.workloads.suite import trace_for
+
+
+class TestCriticalPath:
+    def test_serial_chain_has_depth_near_length(self):
+        program = assemble("""
+        main:
+            li r1, 1
+            addi r1, r1, 1
+            addi r1, r1, 1
+            addi r1, r1, 1
+            addi r1, r1, 1
+            halt
+        """)
+        profile = analyze_trace(emulate(program).trace)
+        # li + 4 dependent addi form a 5-deep chain.
+        assert profile.critical_path == 5
+        assert profile.ideal_ipc < 1.5
+
+    def test_independent_ops_have_shallow_path(self):
+        program = assemble("""
+        main:
+            li r1, 1
+            li r2, 2
+            li r3, 3
+            li r4, 4
+            halt
+        """)
+        profile = analyze_trace(emulate(program).trace)
+        assert profile.critical_path == 1
+        assert profile.ideal_ipc >= 4.0
+
+    def test_ideal_ipc_upper_bounds_measured(self):
+        from repro.uarch import Pipeline, starting_config
+        program = kernels.ilp_block(200, 6)
+        trace = emulate(program).trace
+        profile = analyze_trace(trace)
+        stats = Pipeline(program, trace, starting_config()).run()
+        assert stats.ipc <= profile.ideal_ipc + 0.01
+
+
+class TestDependenceDistances:
+    def test_distance_one_for_back_to_back(self):
+        program = assemble("""
+        li r1, 5
+        addi r2, r1, 1
+        halt
+        """)
+        profile = analyze_trace(emulate(program).trace)
+        assert profile.dep_distances[1] >= 1
+
+    def test_mean_distance_larger_for_parallel_code(self):
+        serial = analyze_trace(emulate(kernels.serial_chain(200)).trace)
+        parallel = analyze_trace(
+            emulate(kernels.ilp_block(100, 8)).trace
+        )
+        assert parallel.mean_dep_distance > serial.mean_dep_distance
+
+
+class TestBranchProfile:
+    def test_biased_loop_has_low_entropy(self):
+        program, _ = kernels.vector_sum(64)
+        profile = analyze_trace(emulate(program).trace)
+        assert profile.branch.conditional >= 63
+        assert profile.branch.taken_rate > 0.9
+        assert profile.branch.mean_entropy < 0.3
+
+    def test_random_branch_has_high_entropy(self):
+        program = assemble("""
+        main:
+            li   r1, 200
+            li   r2, 987654
+            li   r5, 1103515245
+        loop:
+            mul  r2, r2, r5
+            addi r2, r2, 12345
+            srli r3, r2, 9
+            andi r3, r3, 1
+            beqz r3, skip
+            nop
+        skip:
+            subi r1, r1, 1
+            bnez r1, loop
+            halt
+        """)
+        profile = analyze_trace(emulate(program).trace)
+        assert profile.branch.mean_entropy > 0.4
+
+
+class TestWorkingSets:
+    def test_data_bytes_counted_in_lines(self):
+        program = assemble("""
+        .data
+        buf: .space 256
+        .text
+        main:
+            la r1, buf
+            lw r2, 0(r1)
+            lw r3, 128(r1)
+            halt
+        """)
+        profile = analyze_trace(emulate(program).trace, line_size=32)
+        assert profile.data_bytes_touched == 64  # two distinct lines
+
+    def test_report_renders(self):
+        program, _ = kernels.fibonacci(10)
+        text = analyze_trace(emulate(program).trace).report()
+        assert "ideal IPC" in text
+        assert "working set" in text
+
+
+class TestProxyCharacter:
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        return {
+            name: analyze_trace(trace_for(name, scale=6000)[1])
+            for name in BENCHMARK_ORDER
+        }
+
+    def test_entropy_ordering_matches_design(self, profiles):
+        # gcc's tag dispatch and go's board comparisons are the
+        # hard-to-predict proxies; ijpeg and vortex are regular.
+        assert profiles["go"].branch.mean_entropy > 0.3
+        assert profiles["gcc"].branch.mean_entropy > 0.3
+        assert profiles["ijpeg"].branch.mean_entropy < 0.2
+        assert profiles["vortex"].branch.mean_entropy < 0.2
+
+    def test_every_proxy_has_bounded_ideal_ipc(self, profiles):
+        # The serial recurrences keep ideal ILP finite — the property
+        # that makes baseline IPC window-insensitive (DESIGN.md).
+        for name, profile in profiles.items():
+            assert profile.ideal_ipc < 40, name
+
+    def test_working_sets_fit_l1(self, profiles):
+        for name, profile in profiles.items():
+            assert profile.data_bytes_touched <= 32 * 1024, name
+
+
+class TestWindowedIlpAndBurstiness:
+    def test_windowed_ilp_basic(self):
+        from repro.workloads.analysis import windowed_ilp
+        program = assemble("""
+        main:
+            li r1, 1
+            li r2, 2
+            li r3, 3
+            li r4, 4
+            halt
+        """)
+        ilps = windowed_ilp(emulate(program).trace, window=5)
+        assert ilps and ilps[0] >= 4.0
+
+    def test_windowed_ilp_validation(self):
+        from repro.workloads.analysis import windowed_ilp
+        with pytest.raises(ValueError):
+            windowed_ilp([], window=0)
+
+    def test_steady_loop_low_burstiness(self):
+        from repro.workloads.analysis import burstiness
+        trace = emulate(kernels.serial_chain(400)).trace
+        assert burstiness(trace) < 0.25
+
+    def test_bursty_proxies_exceed_steady_ones(self):
+        from repro.workloads.analysis import burstiness
+        bursty = burstiness(trace_for("gcc", scale=5000)[1])
+        steady = burstiness(trace_for("vortex", scale=5000)[1])
+        # gcc carries explicit expression-evaluation bursts.
+        assert bursty > steady
+
+    def test_burstiness_of_tiny_trace_is_zero(self):
+        from repro.workloads.analysis import burstiness
+        program = assemble("nop\nhalt")
+        assert burstiness(emulate(program).trace) == 0.0

@@ -1,0 +1,85 @@
+"""Tests for the profile-driven random program generator."""
+
+import pytest
+
+from repro.arch import emulate
+from repro.workloads import MixProfile, PROFILES, generate_program, mix_report
+
+
+class TestProfileValidation:
+    def test_default_profile_valid(self):
+        MixProfile()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(load=0.6, store=0.3, branch=0.2),  # no room for ALU
+            dict(mul=-0.1),
+            dict(branch_predictability=1.5),
+            dict(working_set_words=0),
+            dict(working_set_words=6),
+            dict(block_size=4),
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MixProfile(**kwargs)
+
+    def test_builtin_profiles_valid(self):
+        assert set(PROFILES) >= {"default", "ilp_rich", "branchy",
+                                 "memory_bound", "mul_heavy"}
+
+
+class TestGeneration:
+    def test_generated_program_halts(self):
+        program = generate_program(MixProfile(), n_dynamic=3000, seed=4)
+        result = emulate(program, max_instructions=50_000)
+        assert result.halted
+        assert result.output  # final checksum emitted
+
+    def test_dynamic_length_near_target(self):
+        program = generate_program(MixProfile(), n_dynamic=5000, seed=4)
+        result = emulate(program, max_instructions=50_000)
+        assert 0.5 * 5000 <= result.instructions <= 1.6 * 5000
+
+    def test_deterministic_per_seed(self):
+        a = generate_program(MixProfile(), 2000, seed=9)
+        b = generate_program(MixProfile(), 2000, seed=9)
+        assert [str(i) for i in a.code] == [str(i) for i in b.code]
+
+    def test_seeds_differ(self):
+        a = generate_program(MixProfile(), 2000, seed=1)
+        b = generate_program(MixProfile(), 2000, seed=2)
+        assert [str(i) for i in a.code] != [str(i) for i in b.code]
+
+    def test_mix_roughly_respected(self):
+        profile = MixProfile(load=0.3, store=0.12, branch=0.1, mul=0.05)
+        program = generate_program(profile, 8000, seed=3)
+        trace = emulate(program, max_instructions=50_000).trace
+        mix = mix_report(trace)
+        assert mix["load"] == pytest.approx(0.3, abs=0.1)
+        assert mix["store"] == pytest.approx(0.12, abs=0.07)
+
+    def test_div_guard_prevents_traps(self):
+        # High div rate: every div divisor is or-ed with 1, so emulation
+        # never needs the divide-by-zero architected path to save it
+        # from crashing, and the program still halts.
+        profile = MixProfile(div=0.05, mul=0.05)
+        program = generate_program(profile, 3000, seed=6)
+        result = emulate(program, max_instructions=50_000)
+        assert result.halted
+
+    def test_memory_accesses_stay_in_working_set(self):
+        profile = MixProfile(load=0.35, working_set_words=256)
+        program = generate_program(profile, 3000, seed=2)
+        trace = emulate(program, max_instructions=50_000).trace
+        from repro.isa.program import DATA_BASE
+        for dyn in trace:
+            if dyn.ea is not None:
+                assert DATA_BASE <= dyn.ea < DATA_BASE + 4 * 256
+
+    def test_branchy_profile_produces_branches(self):
+        program = generate_program(PROFILES["branchy"], 4000, seed=5)
+        trace = emulate(program, max_instructions=50_000).trace
+        mix = mix_report(trace)
+        assert mix["branch"] >= 0.12
