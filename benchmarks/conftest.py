@@ -4,6 +4,12 @@ Figure results are memoised per session: several benches consume the
 same figure (e.g. the §6.1 claims bench aggregates Figs 2-5), and each
 figure is a multi-minute simulation at full scale.
 
+Figures run through the parallel execution layer
+(:mod:`repro.harness.parallel`).  ``REPRO_BENCH_JOBS`` sets the worker
+count (default 1 — sequential, the reference configuration) and
+``REPRO_BENCH_CACHE=1`` enables the on-disk result cache so a repeated
+bench session under an unchanged model is nearly free.
+
 Every bench writes its paper-style text report to
 ``benchmarks/results/<name>.txt`` *and* prints it, so the regenerated
 rows/series are inspectable regardless of pytest's capture settings.
@@ -25,18 +31,34 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 _figure_cache: Dict[str, FigureResult] = {}
 
 
+def bench_jobs() -> int:
+    """Worker count for bench figure runs (``REPRO_BENCH_JOBS``)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def bench_cache() -> bool:
+    """Whether bench runs use the on-disk cache (``REPRO_BENCH_CACHE=1``)."""
+    return os.environ.get("REPRO_BENCH_CACHE", "") == "1"
+
+
 def get_figure(figure_id: str) -> FigureResult:
     """Run (or fetch the memoised run of) one figure at bench scale."""
     if figure_id not in _figure_cache:
+        kwargs = dict(jobs=bench_jobs(), cache=bench_cache())
         if figure_id.startswith("fig7"):
             for spec in figure7_specs():
                 if spec.figure_id == figure_id:
-                    _figure_cache[figure_id] = run_figure(spec)
+                    _figure_cache[figure_id] = run_figure(spec, **kwargs)
                     break
             else:  # pragma: no cover - registry bug guard
                 raise KeyError(figure_id)
         else:
-            _figure_cache[figure_id] = run_figure(FIGURES[figure_id]())
+            _figure_cache[figure_id] = run_figure(
+                FIGURES[figure_id](), **kwargs
+            )
     return _figure_cache[figure_id]
 
 

@@ -7,9 +7,14 @@ combination of a REESE machine over the benchmark suite and prints the
 average-IPC grid, marking the cheapest configuration within 2% of the
 baseline.
 
-Run:  python examples/spare_capacity_sweep.py [scale]
+Run:  python examples/spare_capacity_sweep.py [scale [jobs]]
+
+The grid fans out over `jobs` worker processes (default: all cores)
+through the harness's parallel execution layer; results are identical
+for any worker count.
 """
 
+import os
 import sys
 
 from repro.harness import run_sweep, spare_capacity_grid
@@ -21,12 +26,13 @@ MAX_MULT = 1
 
 def main() -> None:
     scale = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
+    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else (os.cpu_count() or 1)
     base_config = starting_config()
     points = spare_capacity_grid(base_config, max_alu=MAX_ALU,
                                  max_mult=MAX_MULT)
     print(f"sweeping {len(points)} configurations "
-          f"({scale} instructions x 6 benchmarks each)...")
-    results = run_sweep(points, scale=scale)
+          f"({scale} instructions x 6 benchmarks each, {jobs} worker(s))...")
+    results = run_sweep(points, scale=scale, jobs=jobs)
     baseline_ipc = results[0].average_ipc
 
     print()

@@ -24,12 +24,13 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..arch.emulator import EmulatorError, emulate
 from ..arch.memory import MisalignedAccessError
 from ..isa.program import Program
 from ..reese.faults import make_emulator_injector
+from .parallel import parallel_map
 
 #: Outcome labels in severity order.
 OUTCOMES = ("clean", "masked", "sdc", "crash", "hang")
@@ -62,12 +63,57 @@ class CampaignResult:
         return "\n".join(lines)
 
 
+def _classify_run(
+    program: Program,
+    rate: float,
+    run_seed: int,
+    max_instructions: int,
+    golden_state: Tuple,
+) -> Tuple[str, int]:
+    """One injected emulation: (outcome label, injections performed)."""
+    hook, log = make_emulator_injector(rate=rate, seed=run_seed)
+    try:
+        outcome_run = emulate(
+            program, max_instructions=max_instructions,
+            collect_trace=False, inject=hook,
+        )
+    except (MisalignedAccessError, EmulatorError):
+        return "crash", len(log)
+    if not log:
+        return "clean", len(log)
+    if not outcome_run.halted:
+        return "hang", len(log)
+    if (outcome_run.output, outcome_run.memory.snapshot()) == golden_state:
+        return "masked", len(log)
+    return "sdc", len(log)
+
+
+def _campaign_chunk(payload) -> Tuple[Counter, int]:
+    """Pool worker: classify a contiguous chunk of run indices.
+
+    Each run's RNG seed is ``seed + run_index`` — a function of the
+    run's identity alone — so the aggregate is independent of how the
+    index space is chunked or which worker draws which chunk.
+    """
+    program, rate, seed, max_instructions, golden_state, indices = payload
+    outcomes: Counter = Counter()
+    injections = 0
+    for run_index in indices:
+        outcome, injected = _classify_run(
+            program, rate, seed + run_index, max_instructions, golden_state
+        )
+        outcomes[outcome] += 1
+        injections += injected
+    return outcomes, injections
+
+
 def run_campaign(
     program: Program,
     runs: int = 50,
     rate: float = 1e-3,
     seed: int = 0,
     max_instructions: int = 200_000,
+    jobs: Optional[int] = None,
 ) -> CampaignResult:
     """Inject faults over ``runs`` emulations and classify outcomes.
 
@@ -77,6 +123,8 @@ def run_campaign(
         rate: per-instruction bit-flip probability.
         seed: base RNG seed; run ``i`` uses ``seed + i``.
         max_instructions: hang-detection budget.
+        jobs: worker processes (``None``/``1`` = sequential).  Outcome
+            counts are identical for any value.
     """
     golden = emulate(program, max_instructions=max_instructions,
                      collect_trace=False)
@@ -85,24 +133,31 @@ def run_campaign(
     golden_state = (golden.output, golden.memory.snapshot())
 
     result = CampaignResult(program.name, runs, rate)
-    for run_index in range(runs):
-        hook, log = make_emulator_injector(rate=rate, seed=seed + run_index)
-        try:
-            outcome_run = emulate(
-                program, max_instructions=max_instructions,
-                collect_trace=False, inject=hook,
-            )
-        except (MisalignedAccessError, EmulatorError):
-            result.outcomes["crash"] += 1
-            result.injections += len(log)
-            continue
-        result.injections += len(log)
-        if not log:
-            result.outcomes["clean"] += 1
-        elif not outcome_run.halted:
-            result.outcomes["hang"] += 1
-        elif (outcome_run.output, outcome_run.memory.snapshot()) == golden_state:
-            result.outcomes["masked"] += 1
-        else:
-            result.outcomes["sdc"] += 1
+    chunks = _chunk_indices(runs, jobs or 1)
+    payloads = [
+        (program, rate, seed, max_instructions, golden_state, chunk)
+        for chunk in chunks
+    ]
+    for outcomes, injections in parallel_map(_campaign_chunk, payloads, jobs):
+        result.outcomes.update(outcomes)
+        result.injections += injections
     return result
+
+
+def _chunk_indices(runs: int, jobs: int) -> List[Sequence[int]]:
+    """Split ``range(runs)`` into at most ``4 * jobs`` contiguous chunks.
+
+    Over-decomposing (4x) keeps the pool load-balanced when run times
+    vary (hangs cost the full instruction budget; crashes return early).
+    """
+    if runs <= 0:
+        return []
+    target = max(1, min(runs, 4 * max(1, jobs)))
+    size, remainder = divmod(runs, target)
+    chunks: List[Sequence[int]] = []
+    start = 0
+    for index in range(target):
+        stop = start + size + (1 if index < remainder else 0)
+        chunks.append(range(start, stop))
+        start = stop
+    return chunks

@@ -14,12 +14,16 @@ Subcommands::
     repro-reese compare li           # baseline vs REESE vs dispatch-dup
 
 ``--scale N`` (or ``REPRO_BENCH_INSTRUCTIONS``) sets dynamic
-instructions per benchmark.
+instructions per benchmark; an explicit ``--scale`` always beats the
+environment variable.  ``--jobs N`` fans the experiment grid over N
+worker processes (default: all cores) and ``--no-cache`` disables the
+on-disk result cache under ``.repro_cache/``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -27,7 +31,22 @@ from ..reese.faults import EnvironmentalFaultModel
 from ..uarch.config import starting_config
 from ..workloads.suite import BENCHMARK_ORDER, BENCHMARKS
 from . import expectations, experiments, reporting
+from .parallel import ParallelRunner
 from .runner import bench_scale, run_benchmark
+
+
+def _runner_from(args) -> ParallelRunner:
+    """The CLI's execution context: all cores and caching by default."""
+    return ParallelRunner(
+        jobs=args.jobs or (os.cpu_count() or 1),
+        use_cache=not args.no_cache,
+    )
+
+
+def _emit_telemetry(runner: ParallelRunner) -> None:
+    """One summary line on stderr; stdout stays byte-stable for diffs."""
+    if runner.telemetry is not None:
+        print(runner.telemetry.summary(), file=sys.stderr)
 
 
 def _cmd_list(_args) -> int:
@@ -41,35 +60,44 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_figure(args) -> int:
+    runner = _runner_from(args)
     spec = experiments.FIGURES[args.figure]()
-    result = experiments.run_figure(spec, scale=args.scale)
+    result = experiments.run_figure(spec, scale=args.scale, runner=runner)
     print(reporting.figure_report(result))
+    _emit_telemetry(runner)
     return 0
 
 
 def _cmd_summary(args) -> int:
-    summary = experiments.run_summary_figure(scale=args.scale)
+    runner = _runner_from(args)
+    summary = experiments.run_summary_figure(scale=args.scale, runner=runner)
     print("fig6: summary of results (average IPC per hardware variation)")
     print(reporting.summary_report(summary))
+    _emit_telemetry(runner)
     return 0
 
 
 def _cmd_fig7(args) -> int:
+    runner = _runner_from(args)
     for spec in experiments.figure7_specs():
-        result = experiments.run_figure(spec, scale=args.scale)
+        result = experiments.run_figure(spec, scale=args.scale, runner=runner)
         print(reporting.figure_report(result))
         print()
+        _emit_telemetry(runner)
     return 0
 
 
 def _cmd_check(args) -> int:
+    runner = _runner_from(args)
     fig_results = {}
     for name in ("fig2", "fig3"):
         spec = experiments.FIGURES[name]()
-        fig_results[name] = experiments.run_figure(spec, scale=args.scale)
+        fig_results[name] = experiments.run_figure(
+            spec, scale=args.scale, runner=runner
+        )
     for spec in experiments.figure7_specs():
         fig_results[spec.figure_id] = experiments.run_figure(
-            spec, scale=args.scale
+            spec, scale=args.scale, runner=runner
         )
     checks = expectations.check_all(fig_results)
     failed = 0
@@ -110,11 +138,13 @@ def _cmd_faults(args) -> int:
 def _cmd_export(args) -> int:
     from . import export
 
+    runner = _runner_from(args)
     spec = experiments.FIGURES[args.figure]()
-    result = experiments.run_figure(spec, scale=args.scale)
+    result = experiments.run_figure(spec, scale=args.scale, runner=runner)
     written = export.write_figure(result, args.out)
     for fmt, path in written.items():
         print(f"wrote {fmt}: {path}")
+    _emit_telemetry(runner)
     return 0
 
 
@@ -124,7 +154,8 @@ def _cmd_campaign(args) -> int:
 
     program = BENCHMARKS[args.benchmark].build(scale=args.scale or 5000)
     result = run_campaign(
-        program, runs=args.runs, rate=args.rate, seed=args.seed
+        program, runs=args.runs, rate=args.rate, seed=args.seed,
+        jobs=args.jobs or (os.cpu_count() or 1),
     )
     print(result.report())
     return 0
@@ -134,16 +165,18 @@ def _cmd_sweep(args) -> int:
     from .reporting import format_table
     from .sweep import run_sweep, spare_capacity_grid
 
+    runner = _runner_from(args)
     base = starting_config()
     points = spare_capacity_grid(base, max_alu=args.max_alu,
                                  max_mult=args.max_mult)
-    results = run_sweep(points, scale=args.scale)
+    results = run_sweep(points, scale=args.scale, runner=runner)
     baseline_ipc = results[0].average_ipc
     rows = [["configuration", "avg IPC", "gap vs baseline"]]
     for point in results:
         gap = 1 - point.average_ipc / baseline_ipc
         rows.append([point.label, f"{point.average_ipc:.3f}", f"{gap:+.1%}"])
     print(format_table(rows))
+    _emit_telemetry(runner)
     return 0
 
 
@@ -175,6 +208,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help=f"dynamic instructions per benchmark (default {bench_scale()})",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for experiment grids (default: all cores)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        dest="no_cache",
+        help="disable the on-disk result cache (.repro_cache/)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list figures and benchmarks")

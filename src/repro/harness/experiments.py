@@ -23,6 +23,7 @@ Series naming follows the paper: ``Baseline``, ``REESE``, ``R+1 ALU``,
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -36,7 +37,8 @@ from ..uarch.config import (
 )
 from ..uarch.stats import Stats
 from ..workloads.suite import BENCHMARK_ORDER
-from .runner import bench_scale, run_benchmark
+from .parallel import ParallelRunner, SimJob, resolve_runner
+from .runner import bench_scale
 
 #: The paper's series labels, in presentation order.
 SERIES_BASELINE = "Baseline"
@@ -212,36 +214,62 @@ def run_figure(
     spec: FigureSpec,
     scale: Optional[int] = None,
     seed: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache: bool = False,
+    cache_dir: Optional[os.PathLike] = None,
+    runner: Optional[ParallelRunner] = None,
 ) -> FigureResult:
-    """Execute every (benchmark, series) cell of a figure."""
+    """Execute every (benchmark, series) cell of a figure.
+
+    Cells fan out over :class:`~repro.harness.parallel.ParallelRunner`;
+    the benchmark-major job order keeps consecutive jobs on the same
+    trace so pool chunking preserves per-worker trace reuse.
+    """
     scale = scale or bench_scale()
+    runner = resolve_runner(runner, jobs, cache, cache_dir)
+    sim_jobs = [
+        SimJob(bench, config, scale, seed=seed)
+        for bench in spec.benchmarks
+        for _, config in spec.series
+    ]
+    all_stats = runner.run(sim_jobs)
     result = FigureResult(spec, scale)
+    cursor = 0
     for bench in spec.benchmarks:
         result.cells[bench] = {}
-        for label, config in spec.series:
-            result.cells[bench][label] = run_benchmark(
-                bench, config, scale=scale, seed=seed
-            )
+        for label, _ in spec.series:
+            result.cells[bench][label] = all_stats[cursor]
+            cursor += 1
     return result
 
 
 def run_summary_figure(
     scale: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache: bool = False,
+    cache_dir: Optional[os.PathLike] = None,
+    runner: Optional[ParallelRunner] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 6: average IPC per hardware variation per series."""
     scale = scale or bench_scale()
-    summary: Dict[str, Dict[str, float]] = {}
+    runner = resolve_runner(runner, jobs, cache, cache_dir)
+    grid: List[Tuple[str, str]] = []
+    sim_jobs: List[SimJob] = []
     for variation, factory in FIG6_VARIATIONS:
         base = factory()
-        summary[variation] = {}
         for label, config in _series_for(
             base, [SERIES_BASELINE, SERIES_REESE, SERIES_R2A]
         ):
-            ipcs = [
-                run_benchmark(bench, config, scale=scale).ipc
-                for bench in BENCHMARK_ORDER
-            ]
-            summary[variation][label] = sum(ipcs) / len(ipcs)
+            for bench in BENCHMARK_ORDER:
+                grid.append((variation, label))
+                sim_jobs.append(SimJob(bench, config, scale))
+    all_stats = runner.run(sim_jobs)
+    sums: Dict[Tuple[str, str], float] = {}
+    for (variation, label), stats in zip(grid, all_stats):
+        sums[(variation, label)] = sums.get((variation, label), 0.0) + stats.ipc
+    summary: Dict[str, Dict[str, float]] = {}
+    for (variation, label), total in sums.items():
+        summary.setdefault(variation, {})[label] = total / len(BENCHMARK_ORDER)
     return summary
 
 

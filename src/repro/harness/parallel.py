@@ -1,0 +1,378 @@
+"""Parallel experiment execution: fan simulation jobs over worker processes.
+
+Every experiment in the reproduction — the figure suites, the
+spare-capacity sweep, the fault campaigns — decomposes into independent
+``(benchmark, config, seed, fault model)`` simulation jobs.  This module
+is the single execution layer they all route through:
+
+* :class:`SimJob` describes one simulation; :func:`job_fingerprint`
+  derives a stable content hash of everything that determines its
+  result (benchmark, scale, resolved seed, the full
+  :class:`~repro.uarch.config.MachineConfig` contents minus the cosmetic
+  ``name``, and the fault-model parameters).
+* :class:`ResultCache` persists :class:`~repro.uarch.stats.Stats` under
+  ``.repro_cache/`` (override with ``REPRO_CACHE_DIR``) keyed by that
+  fingerprint, so re-running a figure after an unrelated code change is
+  a cache hit.
+* :class:`ParallelRunner` executes a job list: cache lookups first, then
+  the misses over a ``multiprocessing`` pool (in-process when one worker
+  suffices).  Results come back in input order and are bit-identical
+  regardless of worker count or scheduling, because each job is fully
+  determined by its own fields — nothing is sampled from shared state.
+* :class:`RunTelemetry` records per-job timing/outcome for
+  :func:`repro.harness.reporting.telemetry_report`.
+
+Worker lifecycle: each worker process keeps its own module-level
+memoised trace cache (:func:`repro.workloads.suite.trace_for`), so a
+worker pays trace generation once per ``(benchmark, scale, seed)`` and
+amortises it across every config it simulates.  The cache is
+LRU-bounded; long-lived workers that sweep many distinct workloads stay
+within :data:`repro.workloads.suite.TRACE_CACHE_LIMIT` entries, and
+:func:`repro.workloads.suite.clear_trace_cache` drops it entirely
+between campaigns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+import pathlib
+import time
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+from ..reese.faults import (
+    BernoulliFaultModel,
+    EnvironmentalFaultModel,
+    FaultModel,
+    ScheduledFaultModel,
+)
+from ..uarch.config import MachineConfig
+from ..uarch.stats import Stats
+from ..workloads.suite import BENCHMARKS
+from .runner import run_model
+
+#: Bump to invalidate every on-disk cache entry after a model change.
+CACHE_VERSION = 1
+
+#: Default on-disk cache location (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+_FAULT_KINDS: Dict[str, Callable[..., FaultModel]] = {
+    "environmental": EnvironmentalFaultModel,
+    "bernoulli": BernoulliFaultModel,
+    "scheduled": ScheduledFaultModel,
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A picklable, fingerprintable description of a fault model.
+
+    Fault models themselves carry live RNG state, so jobs ship this
+    spec instead and each worker builds a fresh model — which is also
+    what makes injected runs reproducible across worker counts.
+    """
+
+    kind: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in _FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {sorted(_FAULT_KINDS)}"
+            )
+
+    @classmethod
+    def make(cls, kind: str, **params: Any) -> "FaultSpec":
+        return cls(kind, tuple(sorted(params.items())))
+
+    def build(self) -> FaultModel:
+        return _FAULT_KINDS[self.kind](**dict(self.params))
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation: a benchmark on a machine config, optionally faulted."""
+
+    benchmark: str
+    config: MachineConfig
+    scale: int
+    seed: Optional[int] = None
+    fault: Optional[FaultSpec] = None
+    warm: bool = True
+
+    def resolved_seed(self) -> int:
+        """The seed actually used (``None`` means the workload default)."""
+        if self.seed is not None:
+            return self.seed
+        return BENCHMARKS[self.benchmark].default_seed
+
+
+def derive_seed(base: int, *parts: Any) -> int:
+    """Derive a per-job seed from a base seed and the job's identity.
+
+    Stable across processes and Python versions (no ``hash()``), so a
+    job's RNG stream depends only on what the job *is*, never on which
+    worker runs it or in what order.
+    """
+    text = json.dumps([base, *[str(part) for part in parts]])
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:8], "big")
+
+
+def job_fingerprint(job: SimJob) -> str:
+    """Content hash of everything that determines a job's Stats.
+
+    The config's cosmetic ``name`` is excluded: two configs that differ
+    only in label simulate identically and share a cache entry.
+    """
+    config = dataclasses.asdict(job.config)
+    config.pop("name", None)
+    payload = {
+        "version": CACHE_VERSION,
+        "benchmark": job.benchmark,
+        "scale": job.scale,
+        "seed": job.resolved_seed(),
+        "warm": job.warm,
+        "config": config,
+        "fault": (
+            {"kind": job.fault.kind, "params": list(job.fault.params)}
+            if job.fault
+            else None
+        ),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+class ResultCache:
+    """On-disk Stats cache keyed by :func:`job_fingerprint`.
+
+    Entries are JSON files under ``<root>/<fp[:2]>/<fp>.json``; writes
+    go through a temp file + ``os.replace`` so concurrent workers never
+    expose a torn entry.  Unreadable or version-mismatched entries are
+    treated as misses.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = pathlib.Path(
+            root
+            if root is not None
+            else os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        )
+        self._write_warned = False
+
+    def path_for(self, fingerprint: str) -> pathlib.Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> Optional[Stats]:
+        try:
+            data = json.loads(self.path_for(fingerprint).read_text())
+        except (OSError, ValueError):
+            return None
+        if data.get("version") != CACHE_VERSION:
+            return None
+        try:
+            return Stats.from_dict(data["stats"])
+        except (KeyError, TypeError):
+            return None
+
+    def put(self, fingerprint: str, stats: Stats) -> None:
+        blob = json.dumps(
+            {
+                "version": CACHE_VERSION,
+                "fingerprint": fingerprint,
+                "stats": stats.state_dict(),
+            }
+        )
+        try:
+            path = self.path_for(fingerprint)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(blob)
+            os.replace(tmp, path)
+        except OSError as error:
+            # A broken cache must never kill an hour-long sweep: results
+            # are already in hand, so degrade to uncached and say so once.
+            if not self._write_warned:
+                self._write_warned = True
+                warnings.warn(
+                    f"result cache at {self.root} is not writable "
+                    f"({error}); continuing without caching",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+
+
+@dataclass
+class JobRecord:
+    """Telemetry for one executed (or cache-served) job."""
+
+    index: int
+    benchmark: str
+    config: str
+    scale: int
+    seed: int
+    cached: bool
+    elapsed: float
+    worker: int
+
+
+@dataclass
+class RunTelemetry:
+    """Aggregate outcome of one :meth:`ParallelRunner.run` call."""
+
+    jobs: int
+    workers: int
+    cache_hits: int
+    wall_seconds: float
+    records: List[JobRecord] = field(default_factory=list)
+
+    @property
+    def simulated(self) -> int:
+        return self.jobs - self.cache_hits
+
+    def summary(self) -> str:
+        sim_time = sum(r.elapsed for r in self.records if not r.cached)
+        return (
+            f"[parallel] {self.jobs} jobs ({self.cache_hits} cache hits, "
+            f"{self.simulated} simulated) on {self.workers} worker(s); "
+            f"wall {self.wall_seconds:.2f}s, sim {sim_time:.2f}s"
+        )
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (workers inherit already-memoised traces for free)."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _execute_job(job: SimJob) -> Tuple[Stats, float, int]:
+    """Worker entry point: simulate one job, report timing and pid."""
+    from ..workloads.suite import trace_for
+
+    start = time.perf_counter()
+    program, trace = trace_for(job.benchmark, job.scale, job.seed)
+    fault = job.fault.build() if job.fault else None
+    stats = run_model(program, trace, job.config, fault_model=fault,
+                      warm=job.warm)
+    return stats, time.perf_counter() - start, os.getpid()
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    jobs: Optional[int] = None,
+) -> List[_R]:
+    """Order-preserving pool map; runs in-process when one worker suffices.
+
+    ``fn`` must be a picklable module-level callable.  Used by the
+    fault-campaign driver; figure/sweep work should go through
+    :class:`ParallelRunner` to get caching and telemetry.
+    """
+    items = list(items)
+    workers = min(jobs or (os.cpu_count() or 1), len(items))
+    if workers <= 1:
+        return [fn(item) for item in items]
+    with _mp_context().Pool(workers) as pool:
+        return pool.map(fn, items)
+
+
+class ParallelRunner:
+    """Execute SimJobs over a worker pool with an on-disk result cache.
+
+    Args:
+        jobs: worker-process count; ``None`` means all cores.
+        use_cache: consult/populate the on-disk result cache.
+        cache_dir: cache location (default ``REPRO_CACHE_DIR`` or
+            ``.repro_cache``).
+
+    After each :meth:`run`, :attr:`telemetry` holds the
+    :class:`RunTelemetry` for that call.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        use_cache: bool = True,
+        cache_dir: Optional[os.PathLike] = None,
+    ) -> None:
+        self.jobs = max(1, int(jobs)) if jobs else (os.cpu_count() or 1)
+        self.cache: Optional[ResultCache] = (
+            ResultCache(cache_dir) if use_cache else None
+        )
+        self.telemetry: Optional[RunTelemetry] = None
+
+    def run(self, sim_jobs: Sequence[SimJob]) -> List[Stats]:
+        """Run every job; results are returned in input order."""
+        start = time.perf_counter()
+        sim_jobs = list(sim_jobs)
+        fingerprints = [job_fingerprint(job) for job in sim_jobs]
+        results: List[Optional[Stats]] = [None] * len(sim_jobs)
+        records: List[Optional[JobRecord]] = [None] * len(sim_jobs)
+
+        pending: List[int] = []
+        for index, (job, fp) in enumerate(zip(sim_jobs, fingerprints)):
+            cached = self.cache.get(fp) if self.cache else None
+            if cached is not None:
+                results[index] = cached
+                records[index] = JobRecord(
+                    index, job.benchmark, job.config.name, job.scale,
+                    job.resolved_seed(), True, 0.0, os.getpid(),
+                )
+            else:
+                pending.append(index)
+
+        workers = max(1, min(self.jobs, len(pending)))
+        if pending:
+            batch = [sim_jobs[i] for i in pending]
+            if workers == 1:
+                outputs = [_execute_job(job) for job in batch]
+            else:
+                with _mp_context().Pool(workers) as pool:
+                    outputs = pool.map(_execute_job, batch)
+            for index, (stats, elapsed, pid) in zip(pending, outputs):
+                job = sim_jobs[index]
+                results[index] = stats
+                records[index] = JobRecord(
+                    index, job.benchmark, job.config.name, job.scale,
+                    job.resolved_seed(), False, elapsed, pid,
+                )
+                if self.cache:
+                    self.cache.put(fingerprints[index], stats)
+
+        self.telemetry = RunTelemetry(
+            jobs=len(sim_jobs),
+            workers=workers if pending else 0,
+            cache_hits=len(sim_jobs) - len(pending),
+            wall_seconds=time.perf_counter() - start,
+            records=[record for record in records if record is not None],
+        )
+        return [stats for stats in results if stats is not None]
+
+
+def resolve_runner(
+    runner: Optional[ParallelRunner],
+    jobs: Optional[int],
+    cache: bool,
+    cache_dir: Optional[os.PathLike] = None,
+) -> ParallelRunner:
+    """The shared ``runner=None`` convention of the experiment drivers.
+
+    An explicit runner wins; otherwise one is built from the scalar
+    knobs (``jobs=None`` meaning *sequential* here — library callers
+    opt into parallelism, only the CLI defaults to all cores).
+    """
+    if runner is not None:
+        return runner
+    return ParallelRunner(jobs=jobs or 1, use_cache=cache,
+                          cache_dir=cache_dir)

@@ -15,6 +15,7 @@ from .experiments import (
     SERIES_R2A,
     SERIES_REESE,
 )
+from .parallel import RunTelemetry
 
 
 def format_table(rows: Sequence[Sequence[str]]) -> str:
@@ -123,6 +124,34 @@ def summary_report(summary: Dict[str, Dict[str, float]]) -> str:
             + [f"{reese_gap:.1%}", f"{spare_gap:.1%}"]
         )
     return format_table(rows)
+
+
+def telemetry_report(telemetry: RunTelemetry, limit: int = 0) -> str:
+    """Per-job timing/outcome table for one parallel run.
+
+    Args:
+        telemetry: the :attr:`ParallelRunner.telemetry` of a run.
+        limit: show only the ``limit`` slowest jobs (0 = all).
+    """
+    records = sorted(
+        telemetry.records, key=lambda r: r.elapsed, reverse=True
+    )
+    if limit:
+        records = records[:limit]
+    rows: List[List[str]] = [
+        ["job", "benchmark", "config", "scale", "source", "seconds", "worker"]
+    ]
+    for record in records:
+        rows.append([
+            str(record.index),
+            record.benchmark,
+            record.config,
+            str(record.scale),
+            "cache" if record.cached else "sim",
+            f"{record.elapsed:.3f}",
+            str(record.worker),
+        ])
+    return telemetry.summary() + "\n" + format_table(rows)
 
 
 def overhead_summary(results: Sequence[FigureResult]) -> str:

@@ -15,6 +15,7 @@ the experiment definitions.  All figure experiments run through
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Optional
 
 from ..arch.trace import Trace
@@ -23,20 +24,44 @@ from ..reese.faults import FaultModel
 from ..uarch.config import MachineConfig
 from ..uarch.pipeline import Pipeline
 from ..uarch.stats import Stats
-from ..workloads.suite import trace_for
 
-#: Default dynamic-instruction target per benchmark run.
-DEFAULT_SCALE = 20_000
+# DEFAULT_SCALE is re-exported here for backward compatibility; the
+# single source of truth lives with the workload builders so the suite
+# and the harness can never disagree on "the default trace" again.
+from ..workloads.suite import DEFAULT_SCALE, trace_for
 
 
 def bench_scale() -> int:
-    """Dynamic instructions per benchmark (env-overridable)."""
+    """Dynamic instructions per benchmark (env-overridable).
+
+    Precedence: an explicit ``scale`` argument (e.g. the CLI's
+    ``--scale``) beats ``REPRO_BENCH_INSTRUCTIONS``, which beats
+    :data:`DEFAULT_SCALE`.  A malformed or non-positive env value (e.g.
+    ``"2e4"``, ``"20k"``, ``"-5"``) warns and falls back to the default
+    instead of silently running every experiment at the wrong scale.
+    """
     value = os.environ.get("REPRO_BENCH_INSTRUCTIONS", "")
+    if not value:
+        return DEFAULT_SCALE
     try:
         parsed = int(value)
     except ValueError:
+        warnings.warn(
+            f"ignoring malformed REPRO_BENCH_INSTRUCTIONS={value!r} "
+            f"(expected a positive integer); using {DEFAULT_SCALE}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return DEFAULT_SCALE
-    return parsed if parsed > 0 else DEFAULT_SCALE
+    if parsed <= 0:
+        warnings.warn(
+            f"REPRO_BENCH_INSTRUCTIONS={value!r} is not positive; "
+            f"using {DEFAULT_SCALE}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return DEFAULT_SCALE
+    return parsed
 
 
 def run_model(

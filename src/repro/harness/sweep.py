@@ -8,13 +8,15 @@ transformations against the benchmark suite and collect average IPC
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..uarch.config import MachineConfig
 from ..uarch.stats import Stats
 from ..workloads.suite import BENCHMARK_ORDER
-from .runner import bench_scale, run_benchmark
+from .parallel import ParallelRunner, SimJob, resolve_runner
+from .runner import bench_scale
 
 
 @dataclass
@@ -39,16 +41,36 @@ def run_sweep(
     points: Sequence,
     benchmarks: Optional[Iterable[str]] = None,
     scale: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache: bool = False,
+    cache_dir: Optional[os.PathLike] = None,
+    runner: Optional[ParallelRunner] = None,
 ) -> List[SweepPoint]:
-    """Run a list of (label, config) pairs over the benchmark suite."""
+    """Run a list of (label, config) pairs over the benchmark suite.
+
+    The (point x benchmark) grid is executed through
+    :class:`~repro.harness.parallel.ParallelRunner`; results are
+    bit-identical for any ``jobs`` value.  ``jobs=None`` runs
+    sequentially; pass ``runner`` to share a cache/telemetry context
+    across several drivers.
+    """
     benchmarks = list(benchmarks or BENCHMARK_ORDER)
     scale = scale or bench_scale()
+    runner = resolve_runner(runner, jobs, cache, cache_dir)
+    sim_jobs = [
+        SimJob(bench, config, scale)
+        for _, config in points
+        for bench in benchmarks
+    ]
+    all_stats = runner.run(sim_jobs)
     results: List[SweepPoint] = []
+    cursor = 0
     for label, config in points:
         stats = {
-            bench: run_benchmark(bench, config, scale=scale)
-            for bench in benchmarks
+            bench: all_stats[cursor + offset]
+            for offset, bench in enumerate(benchmarks)
         }
+        cursor += len(benchmarks)
         results.append(SweepPoint(label, config, stats))
     return results
 

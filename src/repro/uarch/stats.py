@@ -129,11 +129,27 @@ class Stats:
             else 0.0
         )
 
+    def state_dict(self) -> Dict[str, Any]:
+        """Raw counter state only — the JSON-serialisable cache payload."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, Any]) -> "Stats":
+        """Rebuild a Stats from :meth:`state_dict` (or :meth:`to_dict`).
+
+        Unknown keys (e.g. the derived metrics ``to_dict`` adds) are
+        ignored; missing counters keep their zero defaults, so entries
+        written before a new counter was added still load.
+        """
+        stats = cls()
+        for name in cls.__slots__:
+            if name in state:
+                setattr(stats, name, state[name])
+        return stats
+
     def to_dict(self) -> Dict[str, Any]:
         """Flat reporting dict with counters and derived metrics."""
-        out: Dict[str, Any] = {
-            name: getattr(self, name) for name in self.__slots__
-        }
+        out: Dict[str, Any] = self.state_dict()
         out["ipc"] = self.ipc
         out["misprediction_rate"] = self.misprediction_rate
         out["rqueue_mean_occupancy"] = self.rqueue_mean_occupancy

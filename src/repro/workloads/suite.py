@@ -10,6 +10,9 @@ workload's trace in every figure.
 
 from __future__ import annotations
 
+import os
+import warnings
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
@@ -17,6 +20,45 @@ from ..arch.emulator import emulate
 from ..arch.trace import Trace
 from ..isa.program import Program
 from . import profiles
+
+#: Default dynamic-instruction target per benchmark run — the single
+#: source of truth shared with the harness (``repro.harness.runner``
+#: re-exports it).  Historically the suite defaulted to 30 000 while
+#: the runner used 20 000, so callers mixing the two silently got
+#: different traces (and distinct trace-cache entries) for "the same"
+#: benchmark.
+DEFAULT_SCALE = 20_000
+
+
+def _trace_cache_limit() -> int:
+    """Trace-cache LRU bound (``REPRO_TRACE_CACHE`` overrides)."""
+    raw = os.environ.get("REPRO_TRACE_CACHE", "")
+    if raw:
+        try:
+            parsed = int(raw)
+            if parsed > 0:
+                return parsed
+            warnings.warn(
+                f"REPRO_TRACE_CACHE={raw!r} is not positive; "
+                f"using default {TRACE_CACHE_LIMIT}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        except ValueError:
+            warnings.warn(
+                f"ignoring malformed REPRO_TRACE_CACHE={raw!r}; "
+                f"using default {TRACE_CACHE_LIMIT}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return TRACE_CACHE_LIMIT
+
+
+#: Default LRU bound of the memoised-trace cache.  Sized for the
+#: largest in-repo study (6 benchmarks x a handful of scales/seeds);
+#: a long sweep over many (benchmark, scale, seed) keys evicts the
+#: least-recently-used trace instead of growing without limit.
+TRACE_CACHE_LIMIT = 48
 
 
 @dataclass(frozen=True)
@@ -29,7 +71,7 @@ class Workload:
     builder: Callable[[int, int], Program]
     default_seed: int
 
-    def build(self, scale: int = 30_000, seed: int = None) -> Program:
+    def build(self, scale: int = DEFAULT_SCALE, seed: int = None) -> Program:
         """Assemble the proxy program targeting ``scale`` dynamic insts."""
         if seed is None:
             seed = self.default_seed
@@ -86,10 +128,15 @@ BENCHMARKS: Dict[str, Workload] = {
 #: Paper ordering of the benchmarks in every figure.
 BENCHMARK_ORDER: List[str] = ["gcc", "go", "ijpeg", "li", "perl", "vortex"]
 
-_trace_cache: Dict[Tuple[str, int, int], Tuple[Program, Trace]] = {}
+#: LRU-ordered memoisation of (program, trace) per (benchmark, scale,
+#: seed).  Most-recently-used entries live at the end; lookups refresh
+#: recency and inserts evict from the front once the bound is reached.
+_trace_cache: "OrderedDict[Tuple[str, int, int], Tuple[Program, Trace]]" = (
+    OrderedDict()
+)
 
 
-def load(name: str, scale: int = 30_000, seed: int = None) -> Program:
+def load(name: str, scale: int = DEFAULT_SCALE, seed: int = None) -> Program:
     """Build the proxy program for benchmark ``name``.
 
     Raises:
@@ -99,24 +146,36 @@ def load(name: str, scale: int = 30_000, seed: int = None) -> Program:
 
 
 def trace_for(
-    name: str, scale: int = 30_000, seed: int = None
+    name: str, scale: int = DEFAULT_SCALE, seed: int = None
 ) -> Tuple[Program, Trace]:
-    """Program and dynamic trace for a benchmark (memoised)."""
+    """Program and dynamic trace for a benchmark (memoised, LRU-bounded)."""
     workload = BENCHMARKS[name]
     if seed is None:
         seed = workload.default_seed
     key = (name, scale, seed)
-    if key not in _trace_cache:
-        program = workload.build(scale, seed)
-        result = emulate(program, max_instructions=max(scale * 4, 100_000))
-        if result.trace is None:  # pragma: no cover - defensive
-            raise RuntimeError("emulator did not produce a trace")
-        _trace_cache[key] = (program, result.trace)
+    if key in _trace_cache:
+        _trace_cache.move_to_end(key)
+        return _trace_cache[key]
+    program = workload.build(scale, seed)
+    result = emulate(program, max_instructions=max(scale * 4, 100_000))
+    if result.trace is None:  # pragma: no cover - defensive
+        raise RuntimeError("emulator did not produce a trace")
+    _trace_cache[key] = (program, result.trace)
+    limit = _trace_cache_limit()
+    while len(_trace_cache) > limit:
+        _trace_cache.popitem(last=False)
     return _trace_cache[key]
 
 
 def clear_trace_cache() -> None:
-    """Drop memoised traces (tests that measure memory use call this)."""
+    """Drop memoised traces.
+
+    Part of the worker-lifecycle story of the parallel execution layer
+    (:mod:`repro.harness.parallel`): each worker process accumulates its
+    own trace cache, bounded by the LRU limit above; call this between
+    campaigns (or in a pool initializer) to release the memory
+    deterministically.  Tests that measure memory use call it too.
+    """
     _trace_cache.clear()
 
 

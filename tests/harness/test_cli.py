@@ -5,6 +5,12 @@ import pytest
 from repro.harness.cli import build_parser, main
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Commands default to caching; keep test cache out of the repo."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -13,6 +19,18 @@ class TestParser:
     def test_scale_flag(self):
         args = build_parser().parse_args(["--scale", "500", "list"])
         assert args.scale == 500
+
+    def test_jobs_and_cache_flags(self):
+        args = build_parser().parse_args(
+            ["--jobs", "4", "--no-cache", "list"]
+        )
+        assert args.jobs == 4
+        assert args.no_cache
+
+    def test_jobs_defaults_to_all_cores(self):
+        args = build_parser().parse_args(["list"])
+        assert args.jobs is None
+        assert not args.no_cache
 
     def test_bench_validates_name(self):
         with pytest.raises(SystemExit):
@@ -51,3 +69,31 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "AV." in out
         assert "Baseline" in out
+
+    def test_figure_parallel_matches_sequential(self, capsys):
+        assert main(["--scale", "800", "--jobs", "1", "--no-cache",
+                     "figure", "fig2"]) == 0
+        sequential = capsys.readouterr().out
+        assert main(["--scale", "800", "--jobs", "2", "--no-cache",
+                     "figure", "fig2"]) == 0
+        parallel = capsys.readouterr().out
+        assert sequential == parallel
+
+    def test_figure_telemetry_on_stderr(self, capsys):
+        assert main(["--scale", "800", "--jobs", "2", "figure", "fig2"]) == 0
+        captured = capsys.readouterr()
+        assert "[parallel]" in captured.err
+        assert "[parallel]" not in captured.out
+
+    def test_sweep_runs_small(self, capsys):
+        assert main(["--scale", "600", "--jobs", "2", "sweep",
+                     "--max-alu", "0", "--max-mult", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "reese+0alu+0mult" in out
+
+    def test_campaign_runs_small(self, capsys):
+        assert main(["--scale", "2500", "--jobs", "2", "campaign", "gcc",
+                     "--runs", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "fault campaign" in out

@@ -35,11 +35,42 @@ class TestBenchScale:
         monkeypatch.setenv("REPRO_BENCH_INSTRUCTIONS", "5000")
         assert bench_scale() == 5000
 
-    def test_bad_env_ignored(self, monkeypatch):
-        monkeypatch.setenv("REPRO_BENCH_INSTRUCTIONS", "not-a-number")
-        assert bench_scale() == 20_000
-        monkeypatch.setenv("REPRO_BENCH_INSTRUCTIONS", "-5")
-        assert bench_scale() == 20_000
+    def test_valid_env_does_not_warn(self, monkeypatch, recwarn):
+        monkeypatch.setenv("REPRO_BENCH_INSTRUCTIONS", "5000")
+        assert bench_scale() == 5000
+        assert not recwarn.list
+
+    @pytest.mark.parametrize("bad", ["not-a-number", "2e4", "20k"])
+    def test_malformed_env_warns_and_falls_back(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_BENCH_INSTRUCTIONS", bad)
+        with pytest.warns(RuntimeWarning, match="malformed"):
+            assert bench_scale() == 20_000
+
+    @pytest.mark.parametrize("bad", ["-5", "0"])
+    def test_non_positive_env_warns_and_falls_back(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_BENCH_INSTRUCTIONS", bad)
+        with pytest.warns(RuntimeWarning, match="not positive"):
+            assert bench_scale() == 20_000
+
+    def test_default_scale_single_source_of_truth(self):
+        import inspect
+
+        from repro.harness.runner import DEFAULT_SCALE as runner_default
+        from repro.workloads import suite
+        from repro.workloads.suite import DEFAULT_SCALE as suite_default
+
+        assert runner_default is suite_default
+        # The suite helpers must default to the shared constant, so a
+        # caller mixing load()/trace_for() with the harness default gets
+        # the same trace (and the same trace-cache entry).
+        assert (
+            inspect.signature(suite.load).parameters["scale"].default
+            == suite_default
+        )
+        assert (
+            inspect.signature(suite.trace_for).parameters["scale"].default
+            == suite_default
+        )
 
 
 class TestRunner:

@@ -1,0 +1,223 @@
+"""Tests for the parallel execution layer: jobs, fingerprints, cache, pool."""
+
+import json
+
+import pytest
+
+from repro.harness.parallel import (
+    CACHE_VERSION,
+    FaultSpec,
+    ParallelRunner,
+    ResultCache,
+    SimJob,
+    derive_seed,
+    job_fingerprint,
+    parallel_map,
+)
+from repro.harness.campaign import _chunk_indices
+from repro.reese.faults import BernoulliFaultModel, EnvironmentalFaultModel
+from repro.uarch.config import starting_config
+from repro.uarch.stats import Stats
+from repro.workloads.suite import BENCHMARKS
+
+TINY = 900  # dynamic instructions: enough to exercise the machinery
+
+
+class TestSimJob:
+    def test_resolved_seed_defaults_to_workload_seed(self):
+        job = SimJob("go", starting_config(), TINY)
+        assert job.resolved_seed() == BENCHMARKS["go"].default_seed
+
+    def test_explicit_seed_wins(self):
+        job = SimJob("go", starting_config(), TINY, seed=7)
+        assert job.resolved_seed() == 7
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "go", 2) == derive_seed(1, "go", 2)
+
+    def test_sensitive_to_every_part(self):
+        seeds = {
+            derive_seed(1, "go", 2),
+            derive_seed(2, "go", 2),
+            derive_seed(1, "gcc", 2),
+            derive_seed(1, "go", 3),
+        }
+        assert len(seeds) == 4
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        a = SimJob("go", starting_config(), TINY)
+        b = SimJob("go", starting_config(), TINY)
+        assert job_fingerprint(a) == job_fingerprint(b)
+
+    def test_config_name_is_cosmetic(self):
+        a = SimJob("go", starting_config(), TINY)
+        b = SimJob("go", starting_config().replace(name="renamed"), TINY)
+        assert job_fingerprint(a) == job_fingerprint(b)
+
+    def test_sensitive_fields_change_it(self):
+        base = SimJob("go", starting_config(), TINY)
+        variants = [
+            SimJob("gcc", starting_config(), TINY),
+            SimJob("go", starting_config(), TINY + 1),
+            SimJob("go", starting_config(), TINY, seed=1),
+            SimJob("go", starting_config().with_reese(), TINY),
+            SimJob("go", starting_config(), TINY,
+                   fault=FaultSpec.make("bernoulli", rate=1e-4, seed=5)),
+            SimJob("go", starting_config(), TINY, warm=False),
+        ]
+        fingerprints = {job_fingerprint(v) for v in variants}
+        assert job_fingerprint(base) not in fingerprints
+        assert len(fingerprints) == len(variants)
+
+    def test_default_seed_and_explicit_default_seed_share_entry(self):
+        implicit = SimJob("go", starting_config(), TINY)
+        explicit = SimJob("go", starting_config(), TINY,
+                          seed=BENCHMARKS["go"].default_seed)
+        assert job_fingerprint(implicit) == job_fingerprint(explicit)
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec.make("cosmic-ray", rate=1.0)
+
+    def test_builds_fresh_models(self):
+        spec = FaultSpec.make("bernoulli", rate=1e-4, seed=5)
+        first, second = spec.build(), spec.build()
+        assert isinstance(first, BernoulliFaultModel)
+        assert first is not second
+
+    def test_environmental(self):
+        spec = FaultSpec.make("environmental", rate=1e-3, duration=2, seed=9)
+        assert isinstance(spec.build(), EnvironmentalFaultModel)
+
+
+class TestResultCache:
+    def _stats(self):
+        stats = Stats()
+        stats.cycles = 123
+        stats.committed = 456
+        stats.halted = True
+        stats.fu_issues = {"int_alu": 7}
+        stats.cache_stats = {"l1d": {"hit_rate": 0.75}}
+        return stats
+
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" * 32, self._stats())
+        loaded = cache.get("ab" * 32)
+        assert loaded is not None
+        assert loaded.to_dict() == self._stats().to_dict()
+
+    def test_miss(self, tmp_path):
+        assert ResultCache(tmp_path).get("cd" * 32) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.path_for("ef" * 32)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert cache.get("ef" * 32) is None
+
+    def test_version_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("aa" * 32, self._stats())
+        path = cache.path_for("aa" * 32)
+        data = json.loads(path.read_text())
+        data["version"] = CACHE_VERSION + 1
+        path.write_text(json.dumps(data))
+        assert cache.get("aa" * 32) is None
+
+    def test_unwritable_root_degrades_to_uncached(self, tmp_path):
+        cache = ResultCache(tmp_path / "missing" / "nope")
+        (tmp_path / "missing").write_text("a file, not a directory")
+        with pytest.warns(RuntimeWarning, match="not writable"):
+            cache.put("ab" * 32, self._stats())
+        # Only the first failure warns; later puts stay silent no-ops.
+        cache.put("cd" * 32, self._stats())
+        assert cache.get("ab" * 32) is None
+
+    def test_env_var_selects_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+        cache = ResultCache()
+        assert str(cache.root) == str(tmp_path / "alt")
+
+
+class TestParallelRunner:
+    @pytest.fixture(scope="class")
+    def sim_jobs(self):
+        config = starting_config()
+        return [
+            SimJob("go", config, TINY),
+            SimJob("go", config.with_reese(), TINY),
+            SimJob("vortex", config, TINY),
+        ]
+
+    def test_results_in_input_order_and_worker_count_invariant(self, sim_jobs):
+        seq = ParallelRunner(jobs=1, use_cache=False).run(sim_jobs)
+        par = ParallelRunner(jobs=3, use_cache=False).run(sim_jobs)
+        assert len(seq) == len(par) == len(sim_jobs)
+        for a, b in zip(seq, par):
+            assert a.to_dict() == b.to_dict()
+
+    def test_cache_hits_and_telemetry(self, sim_jobs, tmp_path):
+        runner = ParallelRunner(jobs=2, cache_dir=tmp_path)
+        first = runner.run(sim_jobs)
+        assert runner.telemetry.cache_hits == 0
+        assert runner.telemetry.simulated == len(sim_jobs)
+        second = runner.run(sim_jobs)
+        assert runner.telemetry.cache_hits == len(sim_jobs)
+        assert runner.telemetry.simulated == 0
+        for a, b in zip(first, second):
+            assert a.to_dict() == b.to_dict()
+
+    def test_telemetry_records_cover_all_jobs(self, sim_jobs):
+        runner = ParallelRunner(jobs=1, use_cache=False)
+        runner.run(sim_jobs)
+        telemetry = runner.telemetry
+        assert [r.index for r in telemetry.records] == [0, 1, 2]
+        assert all(not r.cached for r in telemetry.records)
+        assert "3 jobs" in telemetry.summary()
+
+    def test_faulted_job_deterministic_across_workers(self):
+        job = SimJob(
+            "perl", starting_config().with_reese(), 1500,
+            fault=FaultSpec.make("environmental", rate=1e-3, duration=2,
+                                 seed=77),
+        )
+        seq = ParallelRunner(jobs=1, use_cache=False).run([job, job])
+        par = ParallelRunner(jobs=2, use_cache=False).run([job, job])
+        assert seq[0].to_dict() == seq[1].to_dict()
+        assert seq[0].to_dict() == par[0].to_dict() == par[1].to_dict()
+
+    def test_empty_job_list(self):
+        runner = ParallelRunner(jobs=2, use_cache=False)
+        assert runner.run([]) == []
+        assert runner.telemetry.jobs == 0
+
+
+class TestParallelMap:
+    def test_preserves_order(self):
+        assert parallel_map(abs, [-3, -1, -2], jobs=2) == [3, 1, 2]
+
+    def test_sequential_fallback(self):
+        assert parallel_map(abs, [-5], jobs=4) == [5]
+
+
+class TestCampaignChunking:
+    def test_chunks_partition_index_space(self):
+        chunks = _chunk_indices(50, 3)
+        flat = [i for chunk in chunks for i in chunk]
+        assert flat == list(range(50))
+        assert len(chunks) <= 12
+
+    def test_more_jobs_than_runs(self):
+        chunks = _chunk_indices(2, 8)
+        assert [list(c) for c in chunks] == [[0], [1]]
+
+    def test_zero_runs(self):
+        assert _chunk_indices(0, 4) == []

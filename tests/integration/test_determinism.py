@@ -8,6 +8,7 @@ redundancy schemes.
 
 import pytest
 
+from repro.harness import ParallelRunner, SimJob, run_sweep
 from repro.reese import BernoulliFaultModel, EnvironmentalFaultModel
 from repro.uarch import Pipeline, starting_config
 from repro.workloads.suite import trace_for
@@ -69,3 +70,61 @@ class TestBitReproducibility:
             ).run()
             outcomes.add((stats.cycles, stats.errors_detected))
         assert len(outcomes) > 1  # seeds actually change behaviour
+
+
+class TestParallelDeterminism:
+    """The parallel layer must not perturb results in any way.
+
+    Worker count, scheduling order and cache hits are all execution
+    details; the (workload, config, seed) triple fully determines every
+    Stats counter.
+    """
+
+    @classmethod
+    def points(cls):
+        base = starting_config()
+        return [
+            ("baseline", base),
+            ("reese", base.with_reese()),
+            ("reese+1alu", base.with_spares(1, 0).with_reese()),
+        ]
+
+    def test_sweep_jobs_1_vs_4_identical(self):
+        kwargs = dict(benchmarks=["go", "perl"], scale=1500)
+        sequential = run_sweep(self.points(), jobs=1, **kwargs)
+        parallel = run_sweep(self.points(), jobs=4, **kwargs)
+        assert len(sequential) == len(parallel)
+        for seq_point, par_point in zip(sequential, parallel):
+            assert seq_point.label == par_point.label
+            assert {
+                bench: stats.to_dict()
+                for bench, stats in seq_point.stats.items()
+            } == {
+                bench: stats.to_dict()
+                for bench, stats in par_point.stats.items()
+            }
+
+    def test_cache_hit_rerun_returns_equal_stats(self, tmp_path):
+        kwargs = dict(benchmarks=["go"], scale=1500, cache=True,
+                      cache_dir=tmp_path)
+        cold = run_sweep(self.points(), jobs=2, **kwargs)
+        warm = run_sweep(self.points(), jobs=2, **kwargs)
+        for cold_point, warm_point in zip(cold, warm):
+            for bench in cold_point.stats:
+                assert (
+                    cold_point.stats[bench].to_dict()
+                    == warm_point.stats[bench].to_dict()
+                )
+
+    def test_cache_hit_rerun_simulates_nothing(self, tmp_path):
+        runner = ParallelRunner(jobs=2, cache_dir=tmp_path)
+        jobs = [
+            SimJob(bench, config, 1500)
+            for _, config in self.points()
+            for bench in ("go", "perl")
+        ]
+        runner.run(jobs)
+        assert runner.telemetry.cache_hits == 0
+        runner.run(jobs)
+        assert runner.telemetry.cache_hits == len(jobs)
+        assert runner.telemetry.simulated == 0

@@ -45,6 +45,13 @@ class TestArchitecturalCampaign:
         b = run_campaign(program, runs=10, rate=0.01, seed=7)
         assert a.outcomes == b.outcomes
 
+    def test_campaign_worker_count_invariant(self):
+        program, _ = kernels.string_hash("parallel")
+        sequential = run_campaign(program, runs=12, rate=0.01, seed=7, jobs=1)
+        parallel = run_campaign(program, runs=12, rate=0.01, seed=7, jobs=3)
+        assert sequential.outcomes == parallel.outcomes
+        assert sequential.injections == parallel.injections
+
 
 class TestTimingCampaign:
     """The REESE campaign: detection coverage vs event duration (Δt)."""

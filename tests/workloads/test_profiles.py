@@ -117,6 +117,33 @@ class TestSuiteHelpers:
         with pytest.raises(KeyError):
             load("mcf")
 
+    def test_trace_cache_is_lru_bounded(self, monkeypatch):
+        from repro.workloads import suite
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "3")
+        suite.clear_trace_cache()
+        try:
+            for seed in range(5):
+                trace_for("go", scale=1000, seed=seed)
+            assert len(suite._trace_cache) == 3
+            # Oldest seeds were evicted; newest survive.
+            assert set(suite._trace_cache) == {
+                ("go", 1000, seed) for seed in (2, 3, 4)
+            }
+            # A hit refreshes recency: touch seed 2, insert seed 5,
+            # and seed 3 (now the least recently used) is the victim.
+            trace_for("go", scale=1000, seed=2)
+            trace_for("go", scale=1000, seed=5)
+            assert ("go", 1000, 2) in suite._trace_cache
+            assert ("go", 1000, 3) not in suite._trace_cache
+        finally:
+            suite.clear_trace_cache()
+
+    def test_trace_cache_malformed_env_warns(self, monkeypatch):
+        from repro.workloads import suite
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "lots")
+        with pytest.warns(RuntimeWarning, match="malformed"):
+            assert suite._trace_cache_limit() == suite.TRACE_CACHE_LIMIT
+
     def test_mix_report_fractions_sum_to_one(self, traces):
         for _, trace in traces.values():
             mix = mix_report(trace)
