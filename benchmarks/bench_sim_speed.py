@@ -54,6 +54,30 @@ def test_reese_pipeline_throughput(benchmark, workload):
     benchmark.extra_info["cycles"] = stats.cycles
 
 
+def test_observed_pipeline_throughput(benchmark, workload):
+    """Full observability on (metrics + invariant checker).
+
+    Not a regression gate — observation is allowed to cost what it
+    costs; this exists so its price stays *visible*.  The zero-cost
+    claim for the observability-off path is what the tier-1 suite's
+    throughput benches above effectively pin (they run unobserved).
+    """
+    from repro.uarch.observe import ObserveConfig, build_observability
+
+    program, trace = workload
+    config = starting_config().with_reese()
+    observe = ObserveConfig(metrics=True, check_invariants=True)
+
+    stats = benchmark(
+        lambda: Pipeline(
+            program, trace, config, observer=build_observability(observe)
+        ).run()
+    )
+    assert stats.committed == len(trace)
+    assert stats.stage_metrics["cycles_sampled"] == stats.cycles
+    benchmark.extra_info["cycles"] = stats.cycles
+
+
 def test_parallel_figure_cache_speedup(tmp_path_factory):
     """The parallel layer's acceptance bench: fig2 cold vs warm cache.
 

@@ -18,6 +18,15 @@ instructions per benchmark; an explicit ``--scale`` always beats the
 environment variable.  ``--jobs N`` fans the experiment grid over N
 worker processes (default: all cores) and ``--no-cache`` disables the
 on-disk result cache under ``.repro_cache/``.
+
+Observability (see docs/INTERNALS.md §8): ``--observe`` collects
+per-stage metrics (occupancy histograms, stall reasons, P/R functional
+unit split) and prints them after single-run commands;
+``--check-invariants`` runs every simulation under the runtime
+invariant checker (a violation aborts with a diagnostic);
+``--trace PATH`` writes the structured event trace as JSONL — for
+commands that run several simulations, each run gets its own file with
+the run label spliced in before the extension.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ from typing import List, Optional
 
 from ..reese.faults import EnvironmentalFaultModel
 from ..uarch.config import starting_config
+from ..uarch.observe import ObserveConfig
 from ..workloads.suite import BENCHMARK_ORDER, BENCHMARKS
 from . import expectations, experiments, reporting
 from .parallel import ParallelRunner
@@ -40,7 +50,37 @@ def _runner_from(args) -> ParallelRunner:
     return ParallelRunner(
         jobs=args.jobs or (os.cpu_count() or 1),
         use_cache=not args.no_cache,
+        observe=args.observe,
+        check_invariants=args.check_invariants,
     )
+
+
+def _trace_path(args, label: Optional[str] = None) -> Optional[str]:
+    """Per-run trace destination: ``out.jsonl`` -> ``out.reese.jsonl``."""
+    if not args.trace:
+        return None
+    if label is None:
+        return args.trace
+    root, ext = os.path.splitext(args.trace)
+    return f"{root}.{label}{ext or '.jsonl'}"
+
+
+def _observe_from(args, label: Optional[str] = None) -> Optional[ObserveConfig]:
+    """Build the ObserveConfig the global flags describe (or ``None``)."""
+    trace = _trace_path(args, label)
+    if not (args.observe or args.check_invariants or trace):
+        return None
+    return ObserveConfig(
+        metrics=args.observe,
+        check_invariants=args.check_invariants,
+        trace_path=trace,
+    )
+
+
+def _emit_metrics(args, label: str, stats) -> None:
+    """Print the per-stage metrics block after a run (with --observe)."""
+    if args.observe and stats.stage_metrics:
+        print(f"\n[{label}] {reporting.metrics_report(stats)}")
 
 
 def _emit_telemetry(runner: ParallelRunner) -> None:
@@ -110,11 +150,16 @@ def _cmd_check(args) -> int:
 
 def _cmd_bench(args) -> int:
     config = starting_config()
-    base = run_benchmark(args.benchmark, config, scale=args.scale)
-    reese = run_benchmark(args.benchmark, config.with_reese(), scale=args.scale)
+    base = run_benchmark(args.benchmark, config, scale=args.scale,
+                         observe=_observe_from(args, "baseline"))
+    reese = run_benchmark(args.benchmark, config.with_reese(),
+                          scale=args.scale,
+                          observe=_observe_from(args, "reese"))
     print(f"{args.benchmark}: baseline {base.summary()}")
     print(f"{args.benchmark}: reese    {reese.summary()}")
     print(f"IPC ratio reese/baseline = {reese.ipc / base.ipc:.3f}")
+    _emit_metrics(args, "baseline", base)
+    _emit_metrics(args, "reese", reese)
     return 0
 
 
@@ -124,7 +169,8 @@ def _cmd_faults(args) -> int:
         rate=args.rate, duration=args.duration, seed=args.seed
     )
     stats = run_benchmark(
-        args.benchmark, config, scale=args.scale, fault_model=model
+        args.benchmark, config, scale=args.scale, fault_model=model,
+        observe=_observe_from(args),
     )
     print(f"workload:            {args.benchmark}")
     print(f"fault events struck: {model.strikes}")
@@ -188,13 +234,18 @@ def _cmd_compare(args) -> int:
         ("dispatch-dup", config.with_dispatch_dup()),
     ]
     base_ipc = None
+    observed = []
     for label, model_config in models:
-        stats = run_benchmark(args.benchmark, model_config, scale=args.scale)
+        stats = run_benchmark(args.benchmark, model_config, scale=args.scale,
+                              observe=_observe_from(args, label))
         if base_ipc is None:
             base_ipc = stats.ipc
         gap = 1 - stats.ipc / base_ipc
         print(f"{label:14s} IPC {stats.ipc:.3f} ({gap:+.1%})  "
               f"cycles {stats.cycles}  R-execs {stats.issued_r}")
+        observed.append((label, stats))
+    for label, stats in observed:
+        _emit_metrics(args, label, stats)
     return 0
 
 
@@ -220,6 +271,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="no_cache",
         help="disable the on-disk result cache (.repro_cache/)",
+    )
+    parser.add_argument(
+        "--observe",
+        action="store_true",
+        help="collect per-stage metrics (occupancy, stalls, P/R FU split)",
+    )
+    parser.add_argument(
+        "--check-invariants",
+        action="store_true",
+        dest="check_invariants",
+        help="validate pipeline legality every cycle (abort on violation)",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write the structured event trace to PATH as JSONL "
+             "(multi-run commands splice the run label into the name)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list figures and benchmarks")

@@ -52,12 +52,15 @@ from ..reese.faults import (
     ScheduledFaultModel,
 )
 from ..uarch.config import MachineConfig
+from ..uarch.observe import ObserveConfig
 from ..uarch.stats import Stats
 from ..workloads.suite import BENCHMARKS
 from .runner import run_model
 
 #: Bump to invalidate every on-disk cache entry after a model change.
-CACHE_VERSION = 1
+#: v2: Stats gained ``stage_metrics`` and jobs gained observability
+#: fields that change the payload (observed runs populate the registry).
+CACHE_VERSION = 2
 
 #: Default on-disk cache location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -109,6 +112,14 @@ class SimJob:
     seed: Optional[int] = None
     fault: Optional[FaultSpec] = None
     warm: bool = True
+    #: Collect per-stage metrics into ``Stats.stage_metrics``.
+    observe: bool = False
+    #: Run the pipeline under the runtime invariant checker.
+    check_invariants: bool = False
+    #: Write the structured event trace to this JSONL path.  Trace
+    #: files are a side effect the result cache cannot replay, so jobs
+    #: with a trace path always simulate (no cache read).
+    trace_path: Optional[str] = None
 
     def resolved_seed(self) -> int:
         """The seed actually used (``None`` means the workload default)."""
@@ -148,6 +159,12 @@ def job_fingerprint(job: SimJob) -> str:
             if job.fault
             else None
         ),
+        # Observability changes the Stats payload (stage_metrics) but
+        # not the simulated outcome; it is part of the key so observed
+        # and unobserved runs never serve each other's entries.  The
+        # trace path is a pure side-effect destination and is excluded.
+        "observe": job.observe,
+        "check_invariants": job.check_invariants,
     }
     blob = json.dumps(payload, sort_keys=True, default=repr).encode()
     return hashlib.sha256(blob).hexdigest()
@@ -263,8 +280,15 @@ def _execute_job(job: SimJob) -> Tuple[Stats, float, int]:
     start = time.perf_counter()
     program, trace = trace_for(job.benchmark, job.scale, job.seed)
     fault = job.fault.build() if job.fault else None
+    observe = None
+    if job.observe or job.check_invariants or job.trace_path:
+        observe = ObserveConfig(
+            metrics=job.observe,
+            check_invariants=job.check_invariants,
+            trace_path=job.trace_path,
+        )
     stats = run_model(program, trace, job.config, fault_model=fault,
-                      warm=job.warm)
+                      warm=job.warm, observe=observe)
     return stats, time.perf_counter() - start, os.getpid()
 
 
@@ -295,6 +319,10 @@ class ParallelRunner:
         use_cache: consult/populate the on-disk result cache.
         cache_dir: cache location (default ``REPRO_CACHE_DIR`` or
             ``.repro_cache``).
+        observe: collect per-stage metrics for every job (applied on
+            top of each job's own ``observe`` field).
+        check_invariants: run every job under the runtime invariant
+            checker (likewise applied on top of per-job fields).
 
     After each :meth:`run`, :attr:`telemetry` holds the
     :class:`RunTelemetry` for that call.
@@ -305,24 +333,43 @@ class ParallelRunner:
         jobs: Optional[int] = None,
         use_cache: bool = True,
         cache_dir: Optional[os.PathLike] = None,
+        observe: bool = False,
+        check_invariants: bool = False,
     ) -> None:
         self.jobs = max(1, int(jobs)) if jobs else (os.cpu_count() or 1)
         self.cache: Optional[ResultCache] = (
             ResultCache(cache_dir) if use_cache else None
         )
+        self.observe = observe
+        self.check_invariants = check_invariants
         self.telemetry: Optional[RunTelemetry] = None
+
+    def _apply_defaults(self, job: SimJob) -> SimJob:
+        """Fold runner-level observability flags into a job."""
+        if (self.observe and not job.observe) or (
+            self.check_invariants and not job.check_invariants
+        ):
+            job = dataclasses.replace(
+                job,
+                observe=job.observe or self.observe,
+                check_invariants=job.check_invariants or self.check_invariants,
+            )
+        return job
 
     def run(self, sim_jobs: Sequence[SimJob]) -> List[Stats]:
         """Run every job; results are returned in input order."""
         start = time.perf_counter()
-        sim_jobs = list(sim_jobs)
+        sim_jobs = [self._apply_defaults(job) for job in sim_jobs]
         fingerprints = [job_fingerprint(job) for job in sim_jobs]
         results: List[Optional[Stats]] = [None] * len(sim_jobs)
         records: List[Optional[JobRecord]] = [None] * len(sim_jobs)
 
         pending: List[int] = []
         for index, (job, fp) in enumerate(zip(sim_jobs, fingerprints)):
-            cached = self.cache.get(fp) if self.cache else None
+            # A job that writes a trace file must actually run — a cache
+            # hit would return the Stats but silently skip the trace.
+            servable = self.cache is not None and job.trace_path is None
+            cached = self.cache.get(fp) if servable else None
             if cached is not None:
                 results[index] = cached
                 records[index] = JobRecord(

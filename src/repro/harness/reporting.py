@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Sequence
 
+from ..uarch.observe import occupancy_mean
+from ..uarch.stats import Stats
 from .experiments import (
     FigureResult,
     SERIES_BASELINE,
@@ -152,6 +154,36 @@ def telemetry_report(telemetry: RunTelemetry, limit: int = 0) -> str:
             str(record.worker),
         ])
     return telemetry.summary() + "\n" + format_table(rows)
+
+
+def metrics_report(stats: Stats) -> str:
+    """Render ``Stats.stage_metrics`` (an observed run) as text.
+
+    Shows, per pipeline structure, the mean/max occupancy over the run;
+    then the stall-reason counters and the P/R functional-unit issue
+    split.  Returns a placeholder line when the run was not observed.
+    """
+    metrics = stats.stage_metrics
+    if not metrics:
+        return "(no stage metrics: run was not observed)"
+    lines = [f"stage metrics over {metrics['cycles_sampled']} cycles"]
+    rows: List[List[str]] = [["structure", "mean occ", "max occ"]]
+    for key, hist in metrics["occupancy"].items():
+        peak = max((int(occ) for occ in hist), default=0)
+        rows.append([key, f"{occupancy_mean(hist):.2f}", str(peak)])
+    lines.append(format_table(rows))
+    stalls = ", ".join(
+        f"{key}={count}" for key, count in metrics["stalls"].items()
+    )
+    lines.append(f"stalls: {stalls}")
+    fu = metrics.get("fu_issued")
+    if fu:
+        for stream in ("P", "R"):
+            split = ", ".join(
+                f"{name}={count}" for name, count in fu[stream].items()
+            )
+            lines.append(f"FU issues ({stream}-stream): {split or 'none'}")
+    return "\n".join(lines)
 
 
 def overhead_summary(results: Sequence[FigureResult]) -> str:

@@ -20,8 +20,9 @@ from typing import Optional
 
 from ..arch.trace import Trace
 from ..isa.program import Program
-from ..reese.faults import FaultModel
+from ..reese.faults import FaultModel, NoFaults
 from ..uarch.config import MachineConfig
+from ..uarch.observe import ObserveConfig, build_observability
 from ..uarch.pipeline import Pipeline
 from ..uarch.stats import Stats
 
@@ -64,6 +65,23 @@ def bench_scale() -> int:
     return parsed
 
 
+def _env_observe(fault_model: Optional[FaultModel]) -> Optional[ObserveConfig]:
+    """The ``REPRO_CHECK_INVARIANTS`` smoke gate.
+
+    When the variable is set (to anything but ``0``/empty), every
+    harness-driven simulation runs under the runtime invariant checker
+    — except fault-injected ones, whose whole point is to commit
+    corrupted values the checker would (correctly) reject.  This is how
+    CI runs the tier-1 suite with invariant checking on without every
+    test opting in individually.
+    """
+    if os.environ.get("REPRO_CHECK_INVARIANTS", "") in ("", "0"):
+        return None
+    if fault_model is not None and not isinstance(fault_model, NoFaults):
+        return None
+    return ObserveConfig(check_invariants=True)
+
+
 def run_model(
     program: Program,
     trace: Trace,
@@ -71,8 +89,18 @@ def run_model(
     fault_model: Optional[FaultModel] = None,
     warm: bool = True,
     max_cycles: Optional[int] = None,
+    observe: Optional[ObserveConfig] = None,
 ) -> Stats:
-    """Simulate one program trace on one machine configuration."""
+    """Simulate one program trace on one machine configuration.
+
+    Args:
+        observe: optional observability attachment (event trace,
+            per-stage metrics, invariant checker); ``None`` keeps the
+            observer-free fast path unless ``REPRO_CHECK_INVARIANTS``
+            is set in the environment (see :func:`_env_observe`).
+    """
+    if observe is None:
+        observe = _env_observe(fault_model)
     pipeline = Pipeline(
         program,
         trace,
@@ -80,6 +108,7 @@ def run_model(
         fault_model=fault_model,
         warm_caches=warm,
         warm_predictor=warm,
+        observer=build_observability(observe),
     )
     return pipeline.run(max_cycles=max_cycles)
 
@@ -91,7 +120,9 @@ def run_benchmark(
     seed: Optional[int] = None,
     fault_model: Optional[FaultModel] = None,
     warm: bool = True,
+    observe: Optional[ObserveConfig] = None,
 ) -> Stats:
     """Simulate one named benchmark on one machine configuration."""
     program, trace = trace_for(name, scale or bench_scale(), seed)
-    return run_model(program, trace, config, fault_model=fault_model, warm=warm)
+    return run_model(program, trace, config, fault_model=fault_model,
+                     warm=warm, observe=observe)

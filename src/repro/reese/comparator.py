@@ -108,3 +108,18 @@ def verify(dyn: DynInst, p: Optional[Comparable] = None) -> bool:
     if p is None:
         p = p_value(dyn)
     return values_equal(p, reexecute(dyn))
+
+
+def describe_mismatch(p: Comparable, r: Comparable) -> str:
+    """Human-readable P/R disagreement (invariant-checker diagnostics).
+
+    Integers additionally show the XOR of their 32-bit patterns and
+    floats the XOR of their IEEE-754 bit patterns, so a single-bit
+    soft-error corruption is recognisable at a glance.
+    """
+    base = f"P={p!r} vs R={r!r}"
+    if isinstance(p, int) and isinstance(r, int):
+        return f"{base} (xor=0x{(p ^ r) & 0xFFFFFFFFFFFFFFFF:x})"
+    if isinstance(p, float) and isinstance(r, float):
+        return f"{base} (bits xor=0x{float_to_bits(p) ^ float_to_bits(r):x})"
+    return base

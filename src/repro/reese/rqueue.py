@@ -178,6 +178,48 @@ class RStreamQueue:
     def contains(self, seq: int) -> bool:
         return seq in self._by_seq
 
+    def get(self, seq: int) -> Optional[REntry]:
+        """The live entry at ``seq``, or ``None`` (any state)."""
+        return self._by_seq.get(seq)
+
+    # -- introspection -----------------------------------------------------
+
+    def validate(self) -> List[str]:
+        """Internal-consistency audit for the runtime invariant checker.
+
+        Returns a list of problem descriptions (empty when healthy):
+        occupancy within capacity, the seq index keyed correctly, entry
+        states legal, and every *live* entry still pending issue in
+        ``R_WAITING`` state (stale flush leftovers in the pending deque
+        are legal — they are pruned lazily).
+        """
+        problems: List[str] = []
+        if len(self._by_seq) > self.capacity:
+            problems.append(
+                f"occupancy {len(self._by_seq)} exceeds capacity "
+                f"{self.capacity}"
+            )
+        for seq, entry in self._by_seq.items():
+            if entry.seq != seq:
+                problems.append(
+                    f"entry keyed at {seq} carries seq {entry.seq}"
+                )
+            if entry.state not in (R_WAITING, R_ISSUED, R_DONE):
+                problems.append(
+                    f"entry {seq} has illegal state {entry.state!r}"
+                )
+            if entry.skip_r and entry.state != R_DONE:
+                problems.append(
+                    f"entry {seq} skips re-execution but is not DONE"
+                )
+        for entry in self._pending_issue:
+            if self._by_seq.get(entry.seq) is entry and entry.state != R_WAITING:
+                problems.append(
+                    f"live pending-issue entry {entry.seq} is in state "
+                    f"{entry.state!r}, not WAITING"
+                )
+        return problems
+
     # -- flush -------------------------------------------------------------------
 
     def clear(self) -> int:

@@ -11,11 +11,35 @@ from .config import (
     wide_datapath_config,
 )
 from .funits import FUPool
+from .observe import (
+    CallbackSink,
+    EventTracer,
+    InvariantChecker,
+    InvariantViolation,
+    JSONLSink,
+    Observability,
+    ObserveConfig,
+    RingBufferSink,
+    StageMetrics,
+    TraceEvent,
+    build_observability,
+)
 from .pipeline import Pipeline, SimulationDeadlockError
 from .ptrace import PipeTrace
 from .stats import Stats
 
 __all__ = [
+    "CallbackSink",
+    "EventTracer",
+    "InvariantChecker",
+    "InvariantViolation",
+    "JSONLSink",
+    "Observability",
+    "ObserveConfig",
+    "RingBufferSink",
+    "StageMetrics",
+    "TraceEvent",
+    "build_observability",
     "LatencyConfig",
     "MachineConfig",
     "ReeseConfig",

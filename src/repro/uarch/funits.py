@@ -61,6 +61,10 @@ class FUPool:
                 issuelat = getattr(lat, issue_attr)
             self._dispatch[int(fu_class)] = (pool, oplat, issuelat)
         self.issues: Dict[str, int] = {key: 0 for key in self._pools}
+        #: R-stream-only slice of :attr:`issues` (REESE re-executions
+        #: and dispatch-duplication shadow copies), for the per-stage
+        #: metrics registry's P/R utilisation split.
+        self.issues_r: Dict[str, int] = {key: 0 for key in self._pools}
         self._class_of_pool = {
             key: key for key in self._pools
         }
@@ -85,10 +89,18 @@ class FUPool:
         pool = self._dispatch[int(fu_class)][0]
         return sum(1 for next_free in pool if next_free <= cycle)
 
-    def record_issue(self, fu_class: FUClass) -> None:
-        """Update per-pool issue counters (reporting only)."""
+    def record_issue(self, fu_class: FUClass, r_stream: bool = False) -> None:
+        """Update per-pool issue counters (reporting only).
+
+        Args:
+            fu_class: the class the operation issued to.
+            r_stream: the issue belongs to the redundant stream (an
+                R-stream re-execution or a dispatch-dup shadow copy).
+        """
         pool_key = self._OP_MAP[fu_class][0]
         self.issues[pool_key] += 1
+        if r_stream:
+            self.issues_r[pool_key] += 1
 
     def utilization(self, cycles: int) -> Dict[str, float]:
         """Approximate issue-slot utilization per pool."""
@@ -98,3 +110,17 @@ class FUPool:
             key: self.issues[key] / (len(pool) * cycles) if pool else 0.0
             for key, pool in self._pools.items()
         }
+
+    def utilization_split(self, cycles: int) -> Dict[str, Dict[str, float]]:
+        """Issue-slot utilization per pool, split by P vs R stream."""
+        if not cycles:
+            zero = {key: 0.0 for key in self._pools}
+            return {"P": dict(zero), "R": dict(zero)}
+        out: Dict[str, Dict[str, float]] = {"P": {}, "R": {}}
+        for key, pool in self._pools.items():
+            slots = len(pool) * cycles
+            r_issues = self.issues_r[key]
+            p_issues = self.issues[key] - r_issues
+            out["P"][key] = p_issues / slots if slots else 0.0
+            out["R"][key] = r_issues / slots if slots else 0.0
+        return out

@@ -155,9 +155,15 @@ class Pipeline:
             warm_predictor: likewise pre-train the direction predictor
                 on one pass of the branch stream.
             observer: optional stage-event observer (e.g.
-                :class:`repro.uarch.ptrace.PipeTrace`); its ``notify``
-                method is called at fetch/dispatch/issue/complete/
-                commit/squash/R-stream events.
+                :class:`repro.uarch.ptrace.PipeTrace` or
+                :class:`repro.uarch.observe.Observability`); its
+                ``notify`` method is called at fetch/dispatch/issue/
+                complete/commit/squash/R-stream/compare/flush events.
+                Optional observer hooks, resolved once here so an
+                absent hook costs nothing per cycle: ``bind(pipeline)``
+                at construction, ``on_cycle(pipeline)`` at the end of
+                every simulated cycle, ``finalize(stats)`` after the
+                run.
         """
         self.program = program
         self.trace = trace
@@ -166,6 +172,10 @@ class Pipeline:
         self.warm_caches = warm_caches
         self.warm_predictor = warm_predictor
         self.observer = observer
+        self._on_cycle = getattr(observer, "on_cycle", None)
+        bind = getattr(observer, "bind", None)
+        if bind is not None:
+            bind(self)
         self.stats = Stats()
 
         self.mem = MemoryHierarchy(config.mem)
@@ -249,6 +259,7 @@ class Pipeline:
         cap = max_cycles if max_cycles is not None else 400 * total + 100_000
         last_commit_cycle = 0
         last_committed = 0
+        on_cycle = self._on_cycle  # hoisted: fixed for the whole run
 
         while not self._done and self.cycle < cap:
             self._commit()
@@ -256,6 +267,8 @@ class Pipeline:
             self._issue()
             self._dispatch()
             self._fetch()
+            if on_cycle is not None:
+                on_cycle(self)  # end-of-cycle state, pre-increment
             self.cycle += 1
             self.stats.cycles += 1
             if self.reese_on:
@@ -309,6 +322,9 @@ class Pipeline:
         stats.bpred_accuracy = self.predictor.accuracy
         stats.fu_issues = dict(self.fupool.issues)
         stats.cache_stats = self.mem.stat_dict()
+        finalize = getattr(self.observer, "finalize", None)
+        if finalize is not None:
+            finalize(stats)
         return stats
 
     # ==================================================================
@@ -352,6 +368,7 @@ class Pipeline:
         """
         budget = self.config.commit_width
         ruu = self.ruu
+        observer = self.observer
         while budget and ruu:
             head = ruu[0]
             if head.wrong_path or not head.completed:
@@ -367,7 +384,12 @@ class Pipeline:
                 r_val = reese_reexecute(head.dyn)
                 if shadow.p_fault_bit is not None:
                     r_val = corrupt_value(r_val, shadow.p_fault_bit)
-                if not values_equal(p_val, r_val):
+                match = values_equal(p_val, r_val)
+                if observer is not None:
+                    observer.notify(
+                        "compare", self.cycle, head, match=match
+                    )
+                if not match:
                     self.stats.errors_detected += 1
                     self.stats.recoveries += 1
                     if self.retry.record_failure(head.trace_seq):
@@ -388,8 +410,8 @@ class Pipeline:
                 self.fupool.record_issue(FUClass.MEM_PORT)
                 self.mem.daccess(head.dyn.ea, is_write=True)
             self.retry.record_success(head.trace_seq)
-            if self.observer is not None:
-                self.observer.notify("commit", self.cycle, head)
+            if observer is not None:
+                observer.notify("commit", self.cycle, head)
             self.stats.committed += 1
             self.commit_seq = head.trace_seq + 1
             if head.is_halt:
@@ -424,6 +446,7 @@ class Pipeline:
         # Queue in program order (frees queue slots for phase 2).
         budget = self.config.commit_width
         rqueue = self.rqueue
+        observer = self.observer
         while budget:
             rentry = rqueue.committable(self.commit_seq)
             if rentry is None:
@@ -431,7 +454,12 @@ class Pipeline:
             dyn = rentry.dyn
             if not rentry.skip_r:
                 self.stats.comparisons += 1
-                if not values_equal(rentry.p_value, rentry.r_value):
+                match = values_equal(rentry.p_value, rentry.r_value)
+                if observer is not None:
+                    observer.notify(
+                        "compare", self.cycle, rentry=rentry, match=match
+                    )
+                if not match:
                     self._handle_detected_error(rentry)
                     return
                 if (
@@ -453,9 +481,10 @@ class Pipeline:
                     self._lsq_remove(rentry.lsq_entry)
             rqueue.pop(rentry.seq)
             self.retry.record_success(rentry.seq)
-            if self.observer is not None:
-                self.observer.notify(
-                    "commit", self.cycle, trace_seq=rentry.seq
+            if observer is not None:
+                observer.notify(
+                    "commit", self.cycle, trace_seq=rentry.seq,
+                    rentry=rentry,
                 )
             self.stats.committed += 1
             self.commit_seq = rentry.seq + 1
@@ -540,8 +569,6 @@ class Pipeline:
 
     def _flush_all(self, refetch_cursor: int) -> None:
         """Full pipeline + R-stream Queue flush (REESE error recovery)."""
-        if self.observer is not None:
-            self.observer.notify("recover", self.cycle)
         self.stats.squashed += len(self.ifq) + len(self.ruu)
         self.ifq.clear()
         for entry in self.ruu:
@@ -558,6 +585,10 @@ class Pipeline:
         self.fetch_cursor = refetch_cursor
         self.fetch_blocked_until = self.cycle + 1
         self._last_fetch_line = -1
+        # Notify last, with the machine already clean: observers (the
+        # invariant checker in particular) see the post-flush state.
+        if self.observer is not None:
+            self.observer.notify("recover", self.cycle)
 
     # ==================================================================
     # writeback
@@ -607,6 +638,11 @@ class Pipeline:
             rentry.r_fault_bit = bit
         rentry.r_value = r_val
         rentry.state = R_DONE
+        if self.observer is not None:
+            self.observer.notify(
+                "r_complete", self.cycle, trace_seq=rentry.seq,
+                rentry=rentry,
+            )
 
     def _recover_mispredict(self, branch: _Entry) -> None:
         """Squash everything younger than a resolved mispredicted branch."""
@@ -672,6 +708,7 @@ class Pipeline:
         self.ready.sort(key=lambda entry: entry.seq)
         leftover: List[_Entry] = []
         cycle = self.cycle
+        observer = self.observer
         for entry in self.ready:
             if entry.squashed or entry.issued:
                 continue
@@ -684,8 +721,8 @@ class Pipeline:
                 continue
             entry.issued = True
             self._schedule_p(entry, cycle + latency)
-            if self.observer is not None:
-                self.observer.notify("issue", cycle, entry)
+            if observer is not None:
+                observer.notify("issue", cycle, entry)
             self.stats.issued += 1
             if entry.wrong_path:
                 self.stats.issued_wrong_path += 1
@@ -705,7 +742,7 @@ class Pipeline:
         grant = self.fupool.acquire(entry.fu, cycle)
         if grant is None:
             return None
-        self.fupool.record_issue(entry.fu)
+        self.fupool.record_issue(entry.fu, entry.is_shadow)
         return max(1, grant)
 
     def _try_issue_load(self, entry: _Entry, cycle: int) -> Optional[int]:
@@ -731,7 +768,7 @@ class Pipeline:
         grant = self.fupool.acquire(FUClass.MEM_PORT, cycle)
         if grant is None:
             return None
-        self.fupool.record_issue(FUClass.MEM_PORT)
+        self.fupool.record_issue(FUClass.MEM_PORT, entry.is_shadow)
         if entry.wrong_path or ea is None:
             return self._l1d_hit  # wrong path: no cache state pollution
         return max(1, self.mem.daccess(ea, is_write=False))
@@ -739,22 +776,23 @@ class Pipeline:
     def _issue_r(self, budget: int) -> int:
         cycle = self.cycle
         rqueue = self.rqueue
+        observer = self.observer
         for rentry in rqueue.waiting_entries():
             if not budget:
                 break
             grant = self.fupool.acquire(rentry.fu, cycle)
             if grant is None:
                 continue  # FU busy: skip — R entries are independent
-            self.fupool.record_issue(rentry.fu)
+            self.fupool.record_issue(rentry.fu, True)
             if rentry.fu is FUClass.MEM_PORT:
                 latency = self._l1d_hit  # R loads always hit in L1 (§4.4)
             else:
                 latency = max(1, grant)
             rqueue.mark_issued(rentry)
             self._schedule_r(rentry, cycle + latency)
-            if self.observer is not None:
-                self.observer.notify(
-                    "r_issue", cycle, trace_seq=rentry.seq
+            if observer is not None:
+                observer.notify(
+                    "r_issue", cycle, trace_seq=rentry.seq, rentry=rentry
                 )
             self.stats.issued_r += 1
             budget -= 1

@@ -54,6 +54,7 @@ class Stats:
         "bpred_accuracy",
         "fu_issues",
         "cache_stats",
+        "stage_metrics",
     )
 
     def __init__(self) -> None:
@@ -94,6 +95,12 @@ class Stats:
         self.bpred_accuracy = 0.0
         self.fu_issues: Dict[str, int] = {}
         self.cache_stats: Dict[str, Dict[str, float]] = {}
+        #: Per-stage metrics registry (occupancy histograms, P/R FU
+        #: split, stall reasons) — populated only when the run was
+        #: observed (``repro.uarch.observe.StageMetrics``), empty
+        #: otherwise.  JSON-serialisable by construction, so it rides
+        #: the on-disk result cache with every other counter.
+        self.stage_metrics: Dict[str, Any] = {}
 
     # -- derived metrics -------------------------------------------------
 
@@ -170,5 +177,5 @@ class Stats:
             parts.append(f"detected={self.errors_detected}")
         return " ".join(parts)
 
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
+    def __repr__(self) -> str:
         return f"<Stats {self.summary()}>"

@@ -49,3 +49,58 @@ class TestReporting:
         stats.cycles = 1
         stats.errors_detected = 2
         assert "detected=2" in stats.summary()
+
+    def test_summary_shows_r_issues_when_present(self):
+        stats = Stats()
+        stats.cycles = 1
+        stats.issued_r = 9
+        assert "R-issued=9" in stats.summary()
+
+    def test_repr_embeds_summary(self):
+        stats = Stats()
+        stats.cycles = 10
+        stats.committed = 20
+        assert repr(stats) == f"<Stats {stats.summary()}>"
+
+
+class TestRoundTrip:
+    def _populated(self):
+        stats = Stats()
+        stats.cycles = 123
+        stats.committed = 456
+        stats.issued_r = 78
+        stats.fu_issues = {"ialu": 5}
+        stats.cache_stats = {"il1": {"hit_rate": 0.9}}
+        stats.stage_metrics = {
+            "schema": 1,
+            "cycles_sampled": 123,
+            "occupancy": {"ruu": {"0": 3, "16": 120}},
+            "stalls": {"fetch_blocked": 4},
+            "fu_issued": {"P": {"ialu": 5}, "R": {"ialu": 2}},
+        }
+        return stats
+
+    def test_state_dict_covers_every_slot(self):
+        state = Stats().state_dict()
+        assert set(state) == set(Stats.__slots__)
+        assert "stage_metrics" in state
+
+    def test_from_dict_state_dict_round_trip(self):
+        original = self._populated()
+        rebuilt = Stats.from_dict(original.state_dict())
+        assert rebuilt.state_dict() == original.state_dict()
+        assert rebuilt.stage_metrics == original.stage_metrics
+
+    def test_from_dict_accepts_to_dict(self):
+        """Derived-metric keys from to_dict() are ignored on load."""
+        original = self._populated()
+        rebuilt = Stats.from_dict(original.to_dict())
+        assert rebuilt.state_dict() == original.state_dict()
+
+    def test_from_dict_tolerates_missing_new_fields(self):
+        """Cache entries written before stage_metrics existed still load."""
+        state = self._populated().state_dict()
+        del state["stage_metrics"]
+        rebuilt = Stats.from_dict(state)
+        assert rebuilt.stage_metrics == {}
+        assert rebuilt.cycles == 123
