@@ -1,0 +1,101 @@
+"""Static-analysis throughput and the skip-dead campaign speedup.
+
+Two questions about the analysis subsystem's cost model:
+
+* how fast is a full fresh analysis (CFG + dataflow fixpoints + masking
+  + lint), in instructions/second — it runs once per distinct workload
+  and must stay negligible next to simulation;
+* how much fault-campaign wall clock does ``skip_dead`` save by
+  settling dead-classified samples statically instead of emulating
+  them — the REESE-adjacent payoff of ACE-style masking prediction.
+
+Both reports are published to ``benchmarks/results/``.
+"""
+
+import time
+
+import pytest
+
+from conftest import publish
+
+from repro.analysis import analyze_program
+from repro.harness import format_table
+from repro.harness.campaign import run_site_campaign
+from repro.workloads.suite import BENCHMARK_ORDER, BENCHMARKS
+
+ANALYSIS_SCALE = 5000
+CAMPAIGN_SCALE = 3000
+CAMPAIGN_RUNS = 60
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return {
+        name: BENCHMARKS[name].build(scale=ANALYSIS_SCALE)
+        for name in BENCHMARK_ORDER
+    }
+
+
+def test_analysis_throughput(benchmark, programs):
+    """Fresh (uncached) analysis speed over the whole suite."""
+    def analyze_suite():
+        return [
+            analyze_program(program, use_cache=False)
+            for program in programs.values()
+        ]
+
+    results = benchmark(analyze_suite)
+    instructions = sum(r.instructions for r in results)
+    seconds = benchmark.stats.stats.mean
+    benchmark.extra_info["instructions"] = instructions
+    benchmark.extra_info["insts_per_sec"] = round(instructions / seconds)
+
+    rows = [["benchmark", "insts", "blocks", "sites", "dead"]]
+    for name, result in zip(programs, results):
+        rows.append([
+            name, str(result.instructions), str(result.blocks),
+            str(len(result.site_classes)),
+            str(result.class_counts.get("dead", 0)),
+        ])
+    publish("bench_analysis_throughput", "\n".join([
+        f"full static analysis of the {len(programs)}-workload suite: "
+        f"{seconds * 1e3:.1f} ms/pass "
+        f"({instructions / seconds:,.0f} insts/sec)",
+        "",
+        format_table(rows),
+    ]))
+
+
+def test_skip_dead_campaign_speedup(programs):
+    """Wall-clock saved by settling dead sites without emulation."""
+    program = BENCHMARKS["gcc"].build(scale=CAMPAIGN_SCALE)
+
+    start = time.perf_counter()
+    full = run_site_campaign(program, runs=CAMPAIGN_RUNS, seed=1,
+                             use_analysis_cache=False)
+    full_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    skipped = run_site_campaign(program, runs=CAMPAIGN_RUNS, seed=1,
+                                skip_dead=True, use_analysis_cache=False)
+    skip_seconds = time.perf_counter() - start
+
+    # Equivalence first: identical aggregate outcomes, oracle intact.
+    assert full.mismatches == []
+    assert skipped.outcomes == full.outcomes
+    assert skipped.emulations == full.emulations - skipped.skipped_dead
+
+    speedup = full_seconds / skip_seconds if skip_seconds else float("inf")
+    publish("bench_analysis_skip_dead", "\n".join([
+        f"site campaign on 'gcc' ({CAMPAIGN_RUNS} stratified injections, "
+        f"scale {CAMPAIGN_SCALE}):",
+        f"  emulate everything   {full_seconds:8.3f} s "
+        f"({full.emulations} emulations)",
+        f"  skip dead sites      {skip_seconds:8.3f} s "
+        f"({skipped.emulations} emulations, "
+        f"{skipped.skipped_dead} settled statically)",
+        f"  speedup              {speedup:8.2f}x",
+        "",
+        skipped.report(),
+    ]))
+    assert skipped.emulations <= full.emulations

@@ -1,0 +1,208 @@
+"""Static program analysis over assembled mini-ISA workloads.
+
+The subsystem recovers a control-flow graph from a program's
+instruction stream (:mod:`~repro.analysis.cfg`), runs classic iterative
+dataflow on it (:mod:`~repro.analysis.dataflow`), classifies every
+``(instruction, destination register)`` fault site as ``dead`` /
+``live`` / ``control`` (:mod:`~repro.analysis.masking`), and lints the
+workload for structural mistakes (:mod:`~repro.analysis.lint`).
+
+:func:`analyze_program` is the cached entry point the harness uses:
+results are persisted under ``.repro_cache/analysis/`` keyed by a
+content hash of the program, so sweeps re-analysing the same workload
+hit the cache.  The fault-campaign driver
+(:mod:`repro.harness.campaign`) consumes the site classes for
+stratified sampling and for the ``--static-oracle`` cross-check of
+dynamic injection outcomes against these static predictions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from ..isa.program import Program
+from .cache import ANALYSIS_VERSION, AnalysisCache, program_fingerprint
+from .cfg import CFG, BasicBlock, Loop, build_cfg
+from .dataflow import DataflowResult, DefSite, analyze_dataflow
+from .lint import (
+    GATING_SEVERITIES,
+    LintFinding,
+    SEV_ERROR,
+    SEV_INFO,
+    SEV_WARNING,
+    is_clean,
+    lint_program,
+)
+from .masking import (
+    CLASS_CONTROL,
+    CLASS_DEAD,
+    CLASS_LIVE,
+    CLASSES,
+    MaskingAnalysis,
+    classify_sites,
+)
+
+__all__ = [
+    "ANALYSIS_VERSION",
+    "AnalysisCache",
+    "AnalysisResult",
+    "BasicBlock",
+    "CFG",
+    "CLASSES",
+    "CLASS_CONTROL",
+    "CLASS_DEAD",
+    "CLASS_LIVE",
+    "DataflowResult",
+    "DefSite",
+    "LintFinding",
+    "Loop",
+    "MaskingAnalysis",
+    "analyze_dataflow",
+    "analyze_program",
+    "build_cfg",
+    "classify_sites",
+    "is_clean",
+    "lint_program",
+    "program_fingerprint",
+]
+
+
+@dataclass
+class AnalysisResult:
+    """Serialisable summary of one program's static analysis.
+
+    This is the object the harness layers consume; the full CFG and
+    dataflow objects are recomputed on demand via the lower-level API
+    when a caller needs more than the per-site verdicts.
+    """
+
+    program_name: str
+    fingerprint: str
+    instructions: int
+    blocks: int
+    edges: int
+    loops: int
+    unreachable_blocks: int
+    #: (instruction index, destination register) -> dead/live/control.
+    site_classes: Dict[DefSite, str] = field(default_factory=dict)
+    #: Sites whose value is never read at all (subset of ``dead``).
+    directly_dead: Set[DefSite] = field(default_factory=set)
+    findings: List[LintFinding] = field(default_factory=list)
+    #: True when this result was served from the on-disk cache.
+    from_cache: bool = False
+
+    @property
+    def class_counts(self) -> Counter:
+        return Counter(self.site_classes.values())
+
+    @property
+    def clean(self) -> bool:
+        """True when no error/warning lint findings exist."""
+        return is_clean(self.findings)
+
+    def sites_of(self, klass: str) -> List[DefSite]:
+        """Sites of one class, in program order."""
+        return sorted(
+            site for site, c in self.site_classes.items() if c == klass
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The JSON-safe form persisted by the analysis cache."""
+        return {
+            "program_name": self.program_name,
+            "summary": {
+                "instructions": self.instructions,
+                "blocks": self.blocks,
+                "edges": self.edges,
+                "loops": self.loops,
+                "unreachable_blocks": self.unreachable_blocks,
+            },
+            "sites": [
+                [index, reg, self.site_classes[(index, reg)],
+                 int((index, reg) in self.directly_dead)]
+                for index, reg in sorted(self.site_classes)
+            ],
+            "findings": [
+                [f.rule, f.severity, f.index, f.message]
+                for f in self.findings
+            ],
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, Any], fingerprint: str,
+        from_cache: bool = False,
+    ) -> "AnalysisResult":
+        summary = payload["summary"]
+        result = cls(
+            program_name=payload["program_name"],
+            fingerprint=fingerprint,
+            instructions=summary["instructions"],
+            blocks=summary["blocks"],
+            edges=summary["edges"],
+            loops=summary["loops"],
+            unreachable_blocks=summary["unreachable_blocks"],
+            from_cache=from_cache,
+        )
+        for index, reg, klass, direct in payload["sites"]:
+            result.site_classes[(index, reg)] = klass
+            if direct:
+                result.directly_dead.add((index, reg))
+        result.findings = [
+            LintFinding(rule=rule, severity=severity, index=index,
+                        message=message)
+            for rule, severity, index, message in payload["findings"]
+        ]
+        return result
+
+
+def _analyze_fresh(program: Program, fingerprint: str) -> AnalysisResult:
+    cfg = build_cfg(program)
+    dataflow = analyze_dataflow(cfg)
+    masking = classify_sites(dataflow)
+    findings = lint_program(cfg, dataflow, masking)
+    return AnalysisResult(
+        program_name=program.name,
+        fingerprint=fingerprint,
+        instructions=len(program.code),
+        blocks=len(cfg.blocks),
+        edges=cfg.edge_count(),
+        loops=len(cfg.loops),
+        unreachable_blocks=len(cfg.unreachable_blocks()),
+        site_classes=dict(masking.sites),
+        directly_dead=set(masking.directly_dead),
+        findings=findings,
+    )
+
+
+def analyze_program(
+    program: Program,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+) -> AnalysisResult:
+    """Analyse a program, serving repeats from the on-disk cache.
+
+    Args:
+        program: the assembled workload.
+        use_cache: consult/populate ``.repro_cache/analysis/``.
+        cache_dir: cache root override (defaults to ``REPRO_CACHE_DIR``
+            or ``.repro_cache``).
+    """
+    fingerprint = program_fingerprint(program)
+    cache = AnalysisCache(cache_dir) if use_cache else None
+    if cache is not None:
+        payload = cache.get(fingerprint)
+        if payload is not None:
+            result = AnalysisResult.from_payload(
+                payload, fingerprint, from_cache=True
+            )
+            # Two identically assembled programs may carry different
+            # display names; report the caller's, not the cached one.
+            result.program_name = program.name
+            return result
+    result = _analyze_fresh(program, fingerprint)
+    if cache is not None:
+        cache.put(fingerprint, result.to_payload())
+    return result

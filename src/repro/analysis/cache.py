@@ -1,0 +1,100 @@
+"""On-disk analysis cache keyed by a content hash of the program.
+
+Static analysis of a workload depends only on its instruction stream
+(and labels, which steer the indirect-jump over-approximation), so the
+result is cached under ``.repro_cache/analysis/`` keyed by
+:func:`program_fingerprint` — a sweep that re-analyses the same
+assembled program (same benchmark, same scale/seed) pays the dataflow
+fixpoints once.  The layout mirrors
+:class:`repro.harness.parallel.ResultCache`: JSON entries in
+fan-out subdirectories, atomic writes, unreadable or version-mismatched
+entries treated as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import warnings
+from typing import Any, Dict, Optional
+
+from ..isa.program import Program
+
+#: Bump when the analysis semantics or the cached payload change.
+ANALYSIS_VERSION = 1
+
+#: Subdirectory under the shared cache root.
+ANALYSIS_SUBDIR = "analysis"
+
+
+def program_fingerprint(program: Program) -> str:
+    """Content hash of everything the static analysis can observe.
+
+    Covers the instruction stream and the label table (labels feed the
+    indirect-jump target fallback); excludes the program ``name`` and
+    the initial data image, which the register-level analyses never
+    read.
+    """
+    payload = {
+        "version": ANALYSIS_VERSION,
+        "code": [
+            [int(inst.op), inst.rd, inst.rs1, inst.rs2, inst.imm]
+            for inst in program.code
+        ],
+        "labels": sorted(
+            (name, index) for name, index in program.labels.items()
+        ),
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+class AnalysisCache:
+    """Hash-keyed JSON store for serialised analysis results."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        base = pathlib.Path(
+            root
+            if root is not None
+            else os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+        )
+        self.root = base / ANALYSIS_SUBDIR
+        self._write_warned = False
+
+    def path_for(self, fingerprint: str) -> pathlib.Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        try:
+            data = json.loads(self.path_for(fingerprint).read_text())
+        except (OSError, ValueError):
+            return None
+        if data.get("version") != ANALYSIS_VERSION:
+            return None
+        if data.get("fingerprint") != fingerprint:
+            return None
+        return data
+
+    def put(self, fingerprint: str, payload: Dict[str, Any]) -> None:
+        blob = json.dumps(
+            {**payload, "version": ANALYSIS_VERSION,
+             "fingerprint": fingerprint},
+            sort_keys=True,
+        )
+        try:
+            path = self.path_for(fingerprint)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(blob)
+            os.replace(tmp, path)
+        except OSError as error:
+            if not self._write_warned:
+                self._write_warned = True
+                warnings.warn(
+                    f"analysis cache at {self.root} is not writable "
+                    f"({error}); continuing without caching",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )

@@ -1,0 +1,319 @@
+"""Control-flow-graph recovery from an assembled program.
+
+The instruction stream of a :class:`~repro.isa.program.Program` is cut
+into **basic blocks** (maximal straight-line runs with one entry and one
+exit), connected by branch/fall-through edges, and decorated with the
+standard structural analyses the dataflow passes and the linter build
+on: reachability from the entry, an (iterative) dominator tree, and
+natural-loop detection from back edges.
+
+Soundness convention — this CFG is consumed by the fault-masking
+classifier, whose ``dead`` verdicts must hold on *every* dynamic
+execution, so edges **over-approximate** dynamic control flow:
+
+* a conditional branch has both its target and fall-through edges;
+* ``j``/``jal`` have their (assembler-resolved) direct target;
+* ``jr``/``jalr`` targets are not statically known.  In this ISA the
+  only producers of code addresses are the link values of
+  ``jal``/``jalr``, so an indirect jump is given an edge to **every
+  return point** (the instruction after each call site).  When a
+  program has indirect jumps but no call sites, every label is assumed
+  reachable instead (and the linter flags the construct).
+
+Block indices are CFG node ids; instruction indices are absolute
+positions in ``program.code`` (the same indices branch immediates use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..isa.instructions import Op, OPINFO
+from ..isa.program import Program
+
+#: Ops whose successor set is not simply "the next instruction".
+_DIRECT_JUMPS = (Op.J, Op.JAL)
+_INDIRECT_JUMPS = (Op.JR, Op.JALR)
+#: Ops that establish a return point at the following instruction.
+_CALLS = (Op.JAL, Op.JALR)
+
+
+@dataclass
+class BasicBlock:
+    """A maximal single-entry straight-line instruction run."""
+
+    id: int
+    start: int          # first instruction index (inclusive)
+    end: int            # last instruction index + 1 (exclusive)
+    succs: List[int] = field(default_factory=list)  # successor block ids
+    preds: List[int] = field(default_factory=list)  # predecessor block ids
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def instructions(self) -> range:
+        """The instruction indices this block covers."""
+        return range(self.start, self.end)
+
+    @property
+    def terminator(self) -> int:
+        """Index of the block's last instruction."""
+        return self.end - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<BasicBlock B{self.id} [{self.start}:{self.end}) "
+            f"-> {self.succs}>"
+        )
+
+
+@dataclass
+class Loop:
+    """A natural loop: back edge ``tail -> header`` plus its body."""
+
+    header: int          # header block id
+    tail: int            # source block id of the back edge
+    body: Set[int]       # block ids, header included
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Loop header=B{self.header} body={sorted(self.body)}>"
+
+
+class CFG:
+    """Control-flow graph of one program.
+
+    Attributes:
+        program: the analysed program.
+        blocks: basic blocks, ordered by start index (entry is block 0).
+        block_of: instruction index -> owning block id.
+        return_points: instruction indices that follow a call site
+            (the over-approximated targets of indirect jumps).
+        reachable: block ids reachable from the entry block.
+        idom: immediate dominator per *reachable* block id (the entry
+            maps to itself); unreachable blocks are absent.
+        loops: natural loops discovered from back edges.
+    """
+
+    def __init__(self, program: Program, blocks: List[BasicBlock],
+                 return_points: Sequence[int]) -> None:
+        self.program = program
+        self.blocks = blocks
+        self.return_points: Tuple[int, ...] = tuple(return_points)
+        self.block_of: Dict[int, int] = {}
+        for block in blocks:
+            for index in block.instructions():
+                self.block_of[index] = block.id
+        self.reachable: Set[int] = self._compute_reachable()
+        self.idom: Dict[int, int] = self._compute_dominators()
+        self.loops: List[Loop] = self._compute_loops()
+
+    # -- structure queries ------------------------------------------------
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    def edge_count(self) -> int:
+        return sum(len(block.succs) for block in self.blocks)
+
+    def unreachable_blocks(self) -> List[BasicBlock]:
+        """Blocks never reachable from the entry (dead code)."""
+        return [b for b in self.blocks if b.id not in self.reachable]
+
+    def dominates(self, a: int, b: int) -> bool:
+        """True if block ``a`` dominates block ``b`` (both reachable)."""
+        if b not in self.idom:
+            return False
+        node = b
+        while True:
+            if node == a:
+                return True
+            parent = self.idom[node]
+            if parent == node:
+                return False
+            node = parent
+
+    # -- construction helpers --------------------------------------------
+
+    def _compute_reachable(self) -> Set[int]:
+        if not self.blocks:
+            return set()
+        seen = {0}
+        stack = [0]
+        while stack:
+            block = self.blocks[stack.pop()]
+            for succ in block.succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def _reverse_postorder(self) -> List[int]:
+        order: List[int] = []
+        seen: Set[int] = set()
+
+        # Iterative DFS (generated workloads can nest deeply).
+        stack: List[Tuple[int, int]] = [(0, 0)] if self.blocks else []
+        if self.blocks:
+            seen.add(0)
+        while stack:
+            node, child = stack[-1]
+            succs = self.blocks[node].succs
+            if child < len(succs):
+                stack[-1] = (node, child + 1)
+                succ = succs[child]
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, 0))
+            else:
+                order.append(node)
+                stack.pop()
+        order.reverse()
+        return order
+
+    def _compute_dominators(self) -> Dict[int, int]:
+        """Cooper/Harvey/Kennedy iterative dominators over reachables."""
+        if not self.blocks:
+            return {}
+        rpo = self._reverse_postorder()
+        position = {block: index for index, block in enumerate(rpo)}
+        idom: Dict[int, int] = {0: 0}
+
+        def intersect(a: int, b: int) -> int:
+            while a != b:
+                while position[a] > position[b]:
+                    a = idom[a]
+                while position[b] > position[a]:
+                    b = idom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for block in rpo:
+                if block == 0:
+                    continue
+                preds = [
+                    p for p in self.blocks[block].preds
+                    if p in idom
+                ]
+                if not preds:
+                    continue
+                new = preds[0]
+                for pred in preds[1:]:
+                    new = intersect(new, pred)
+                if idom.get(block) != new:
+                    idom[block] = new
+                    changed = True
+        return idom
+
+    def _compute_loops(self) -> List[Loop]:
+        loops: List[Loop] = []
+        for block in self.blocks:
+            if block.id not in self.reachable:
+                continue
+            for succ in block.succs:
+                if not self.dominates(succ, block.id):
+                    continue
+                # Back edge block -> succ: collect the natural loop.
+                body = {succ, block.id}
+                stack = [block.id]
+                while stack:
+                    node = stack.pop()
+                    if node == succ:
+                        continue
+                    for pred in self.blocks[node].preds:
+                        if pred not in body:
+                            body.add(pred)
+                            stack.append(pred)
+                loops.append(Loop(header=succ, tail=block.id, body=body))
+        loops.sort(key=lambda loop: (loop.header, loop.tail))
+        return loops
+
+
+def instruction_successors(
+    program: Program,
+    index: int,
+    return_points: Sequence[int],
+) -> Tuple[int, ...]:
+    """Static successor instruction indices of ``program.code[index]``.
+
+    Out-of-text successors (a fall-through off the end, a branch target
+    outside the code) are dropped here; the linter reports them.
+    """
+    inst = program.code[index]
+    info = OPINFO[inst.op]
+    n = len(program.code)
+    if info.is_halt:
+        return ()
+    if info.is_cond_branch:
+        out = []
+        if 0 <= inst.imm < n:
+            out.append(inst.imm)
+        if index + 1 < n and inst.imm != index + 1:
+            out.append(index + 1)
+        elif index + 1 < n and not out:
+            out.append(index + 1)
+        return tuple(out)
+    if inst.op in _DIRECT_JUMPS:
+        return (inst.imm,) if 0 <= inst.imm < n else ()
+    if inst.op in _INDIRECT_JUMPS:
+        targets = [t for t in return_points if 0 <= t < n]
+        if not targets:
+            # No call sites to return to: fall back to every label.
+            targets = sorted(
+                {t for t in program.labels.values() if 0 <= t < n}
+            )
+        return tuple(targets)
+    return (index + 1,) if index + 1 < n else ()
+
+
+def call_return_points(program: Program) -> Tuple[int, ...]:
+    """Instruction indices following each call site, in program order."""
+    points = [
+        index + 1
+        for index, inst in enumerate(program.code)
+        if inst.op in _CALLS and index + 1 < len(program.code)
+    ]
+    return tuple(points)
+
+
+def build_cfg(program: Program) -> CFG:
+    """Recover the basic-block control-flow graph of ``program``."""
+    n = len(program.code)
+    return_points = call_return_points(program)
+    if n == 0:
+        return CFG(program, [], return_points)
+
+    # Leaders: entry, every successor of a control transfer, and every
+    # instruction following one (a block ends at each transfer/halt).
+    leaders: Set[int] = {0}
+    for index, inst in enumerate(program.code):
+        info = OPINFO[inst.op]
+        if not (info.is_branch or info.is_halt):
+            continue
+        for succ in instruction_successors(program, index, return_points):
+            leaders.add(succ)
+        if index + 1 < n:
+            leaders.add(index + 1)
+
+    starts = sorted(leaders)
+    blocks: List[BasicBlock] = []
+    for block_id, start in enumerate(starts):
+        end = starts[block_id + 1] if block_id + 1 < len(starts) else n
+        blocks.append(BasicBlock(id=block_id, start=start, end=end))
+
+    start_to_block = {block.start: block.id for block in blocks}
+    for block in blocks:
+        for succ_index in instruction_successors(
+            program, block.terminator, return_points
+        ):
+            succ_block = start_to_block[succ_index]
+            if succ_block not in block.succs:
+                block.succs.append(succ_block)
+    for block in blocks:
+        for succ in block.succs:
+            blocks[succ].preds.append(block.id)
+
+    return CFG(program, blocks, return_points)

@@ -1,0 +1,292 @@
+"""Classic iterative dataflow over the recovered CFG.
+
+Three passes, all register-level and all **may** analyses over the
+over-approximated CFG (see :mod:`repro.analysis.cfg`), so their results
+are conservative with respect to every dynamic execution:
+
+* **reaching definitions** — which ``(instruction, register)`` writes
+  can reach each program point; the per-use resolution gives the
+  **def-use chains** the fault-masking classifier walks, and a use with
+  *no* reaching definition is a read of the machine's initial register
+  state (the linter's uninitialised-read check);
+* **liveness** — which registers may still be read before being
+  redefined; ``register not in live_out(i)`` is the *direct* deadness
+  criterion (the value written at ``i`` is never read at all);
+* **dead-value intervals** — for each directly dead definition, the
+  instruction range over which the stale value sits in the register
+  file before being overwritten.
+
+Uses carry a *kind* describing what the consuming instruction does with
+the value; kinds are what the masking classifier turns into fault-site
+verdicts:
+
+=============  =====================================================
+``compute``    operand of an ALU/FP/convert op (value propagates
+               into the consumer's destination register)
+``load_addr``  load base address (propagates into the loaded value
+               *and* can fault architecturally on corruption)
+``store_addr`` store base address (architecturally visible)
+``store_data`` store data (architecturally visible)
+``output``     ``putint``/``putch`` operand (program output)
+``branch``     conditional-branch condition (control flow)
+``jump_addr``  ``jr``/``jalr`` target address (control flow)
+=============  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..isa.instructions import Fmt, Instruction, Op, OPINFO
+from .cfg import CFG
+
+# Use kinds (see module docstring).
+USE_COMPUTE = "compute"
+USE_LOAD_ADDR = "load_addr"
+USE_STORE_ADDR = "store_addr"
+USE_STORE_DATA = "store_data"
+USE_OUTPUT = "output"
+USE_BRANCH = "branch"
+USE_JUMP_ADDR = "jump_addr"
+
+#: Kinds whose consumption is architecturally visible by itself.
+DATA_SINK_KINDS = frozenset(
+    {USE_LOAD_ADDR, USE_STORE_ADDR, USE_STORE_DATA, USE_OUTPUT}
+)
+#: Kinds that can steer control flow.
+CONTROL_SINK_KINDS = frozenset({USE_BRANCH, USE_JUMP_ADDR})
+#: Kinds whose value flows onward into the consumer's destination.
+PROPAGATING_KINDS = frozenset({USE_COMPUTE, USE_LOAD_ADDR})
+
+#: A definition site: (instruction index, unified register index).
+DefSite = Tuple[int, int]
+
+
+def instruction_uses(inst: Instruction) -> Tuple[Tuple[int, str], ...]:
+    """``(register, kind)`` pairs read by one instruction.
+
+    The hard-wired zero register and unused operand slots are excluded,
+    mirroring :meth:`Instruction.srcs`.
+    """
+    info = OPINFO[inst.op]
+    uses: List[Tuple[int, str]] = []
+
+    def add(reg: int, kind: str) -> None:
+        if reg > 0:
+            uses.append((reg, kind))
+
+    if info.is_cond_branch:
+        add(inst.rs1, USE_BRANCH)
+        add(inst.rs2, USE_BRANCH)
+    elif inst.op in (Op.JR, Op.JALR):
+        add(inst.rs1, USE_JUMP_ADDR)
+    elif info.is_load:
+        add(inst.rs1, USE_LOAD_ADDR)
+    elif info.is_store:
+        add(inst.rs1, USE_STORE_ADDR)
+        add(inst.rs2, USE_STORE_DATA)
+    elif inst.op in (Op.PUTINT, Op.PUTCH):
+        add(inst.rs1, USE_OUTPUT)
+    elif inst.op in (Op.J, Op.JAL, Op.NOP, Op.HALT):
+        pass
+    else:
+        add(inst.rs1, USE_COMPUTE)
+        if OPINFO[inst.op].fmt is Fmt.RRR:
+            add(inst.rs2, USE_COMPUTE)
+    return tuple(uses)
+
+
+def instruction_def(inst: Instruction) -> int:
+    """Destination register of one instruction, or -1 (same as dst())."""
+    return inst.dst()
+
+
+@dataclass
+class Use:
+    """One resolved register read."""
+
+    index: int          # instruction index performing the read
+    reg: int            # unified register index
+    kind: str           # one of the USE_* kinds
+    defs: Tuple[DefSite, ...]  # definitions reaching this read
+
+
+@dataclass
+class DeadInterval:
+    """A directly dead definition and the span its value lingers."""
+
+    reg: int
+    start: int                 # defining instruction index
+    end: Optional[int]         # redefining instruction index, or None
+    #                            when the value dies with the block
+
+
+class DataflowResult:
+    """Reaching definitions + liveness + chains for one program."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        program = cfg.program
+        code = program.code
+        self.uses_of: List[Tuple[Tuple[int, str], ...]] = [
+            instruction_uses(inst) for inst in code
+        ]
+        self.def_of: List[int] = [instruction_def(inst) for inst in code]
+
+        # ---- reaching definitions (forward, may) ---------------------
+        # GEN/KILL per block over DefSite values.
+        defs_by_reg: Dict[int, Set[DefSite]] = {}
+        for index, reg in enumerate(self.def_of):
+            if reg >= 0:
+                defs_by_reg.setdefault(reg, set()).add((index, reg))
+
+        n_blocks = len(cfg.blocks)
+        gen: List[Set[DefSite]] = [set() for _ in range(n_blocks)]
+        kill: List[Set[DefSite]] = [set() for _ in range(n_blocks)]
+        for block in cfg.blocks:
+            for index in block.instructions():
+                reg = self.def_of[index]
+                if reg < 0:
+                    continue
+                all_defs = defs_by_reg[reg]
+                gen[block.id] = {
+                    d for d in gen[block.id] if d[1] != reg
+                }
+                gen[block.id].add((index, reg))
+                kill[block.id] |= all_defs - {(index, reg)}
+
+        reach_in: List[Set[DefSite]] = [set() for _ in range(n_blocks)]
+        reach_out: List[Set[DefSite]] = [set() for _ in range(n_blocks)]
+        worklist = list(range(n_blocks))
+        while worklist:
+            next_list: List[int] = []
+            for bid in worklist:
+                block = cfg.blocks[bid]
+                new_in: Set[DefSite] = set()
+                for pred in block.preds:
+                    new_in |= reach_out[pred]
+                new_out = gen[bid] | (new_in - kill[bid])
+                reach_in[bid] = new_in
+                if new_out != reach_out[bid]:
+                    reach_out[bid] = new_out
+                    for succ in block.succs:
+                        if succ not in next_list:
+                            next_list.append(succ)
+            worklist = sorted(set(next_list))
+        self.block_reach_in = reach_in
+        self.block_reach_out = reach_out
+
+        # ---- def-use / use-def chains (walk blocks forward) ----------
+        self.uses: List[Use] = []
+        self.du_chains: Dict[DefSite, List[Use]] = {
+            site: [] for sites in defs_by_reg.values() for site in sites
+        }
+        #: reads whose register has no reaching definition (they observe
+        #: the machine's initial register state).
+        self.uninitialised_reads: List[Use] = []
+        for block in cfg.blocks:
+            live_defs: Dict[int, Set[DefSite]] = {}
+            for site in reach_in[block.id]:
+                live_defs.setdefault(site[1], set()).add(site)
+            for index in block.instructions():
+                for reg, kind in self.uses_of[index]:
+                    reaching = tuple(sorted(live_defs.get(reg, ())))
+                    use = Use(index=index, reg=reg, kind=kind,
+                              defs=reaching)
+                    self.uses.append(use)
+                    if reaching:
+                        for site in reaching:
+                            self.du_chains[site].append(use)
+                    else:
+                        self.uninitialised_reads.append(use)
+                reg = self.def_of[index]
+                if reg >= 0:
+                    live_defs[reg] = {(index, reg)}
+
+        # ---- liveness (backward, may) --------------------------------
+        use_sets: List[Set[int]] = [set() for _ in range(n_blocks)]
+        def_sets: List[Set[int]] = [set() for _ in range(n_blocks)]
+        for block in cfg.blocks:
+            upward: Set[int] = set()
+            defined: Set[int] = set()
+            for index in block.instructions():
+                for reg, _kind in self.uses_of[index]:
+                    if reg not in defined:
+                        upward.add(reg)
+                reg = self.def_of[index]
+                if reg >= 0:
+                    defined.add(reg)
+            use_sets[block.id] = upward
+            def_sets[block.id] = defined
+
+        live_in: List[Set[int]] = [set() for _ in range(n_blocks)]
+        live_out: List[Set[int]] = [set() for _ in range(n_blocks)]
+        worklist = list(range(n_blocks))
+        while worklist:
+            next_list = []
+            for bid in reversed(worklist):
+                block = cfg.blocks[bid]
+                new_out: Set[int] = set()
+                for succ in block.succs:
+                    new_out |= live_in[succ]
+                live_out[bid] = new_out
+                new_in = use_sets[bid] | (new_out - def_sets[bid])
+                if new_in != live_in[bid]:
+                    live_in[bid] = new_in
+                    for pred in block.preds:
+                        if pred not in next_list:
+                            next_list.append(pred)
+            worklist = sorted(set(next_list))
+        self.block_live_in = live_in
+        self.block_live_out = live_out
+
+        # ---- per-instruction live-out --------------------------------
+        self.inst_live_out: List[FrozenSet[int]] = [frozenset()] * len(code)
+        for block in cfg.blocks:
+            live = set(live_out[block.id])
+            for index in reversed(list(block.instructions())):
+                self.inst_live_out[index] = frozenset(live)
+                reg = self.def_of[index]
+                if reg >= 0:
+                    live.discard(reg)
+                for use_reg, _kind in self.uses_of[index]:
+                    live.add(use_reg)
+
+    # -- queries ---------------------------------------------------------
+
+    def def_sites(self) -> List[DefSite]:
+        """All definition sites, in program order."""
+        return sorted(self.du_chains.keys())
+
+    def directly_dead(self, site: DefSite) -> bool:
+        """True if the value written at ``site`` is never read at all."""
+        index, reg = site
+        return reg not in self.inst_live_out[index]
+
+    def dead_intervals(self) -> List[DeadInterval]:
+        """Spans over which directly dead values linger, per block.
+
+        The interval runs from the defining instruction to the next
+        redefinition of the register inside the same basic block, or to
+        the block end (``end=None``) when the stale value simply falls
+        out of liveness there.
+        """
+        intervals: List[DeadInterval] = []
+        for site in self.def_sites():
+            if not self.directly_dead(site):
+                continue
+            index, reg = site
+            block = self.cfg.blocks[self.cfg.block_of[index]]
+            end: Optional[int] = None
+            for later in range(index + 1, block.end):
+                if self.def_of[later] == reg:
+                    end = later
+                    break
+            intervals.append(DeadInterval(reg=reg, start=index, end=end))
+        return intervals
+
+
+def analyze_dataflow(cfg: CFG) -> DataflowResult:
+    """Run all dataflow passes over one CFG."""
+    return DataflowResult(cfg)

@@ -1,0 +1,244 @@
+"""Workload linter: static sanity checks over assembled programs.
+
+The same CFG/dataflow machinery the fault-masking classifier uses also
+answers "is this workload well-formed?" — the checks below catch the
+assembly mistakes that otherwise surface as baffling campaign results
+(a fault campaign over dead code measures nothing).
+
+Rules and severities:
+
+=======================  ========  ===================================
+``falls-off-text``       error     a reachable path can run past the
+                                   last instruction (the emulator
+                                   raises ``EmulatorError`` there)
+``unreachable-block``    warning   code no execution can reach
+``uninit-read``          warning   a register is (possibly) read
+                                   before any write; it observes the
+                                   machine's zeroed initial state
+                                   (``sp`` is ABI-initialised and
+                                   exempt)
+``indirect-no-targets``  warning   ``jr``/``jalr`` with no call sites
+                                   to return to — the CFG falls back
+                                   to treating every label as a target
+``dead-write``           info      a register write whose value can
+                                   never reach a visible sink
+``store-never-loaded``   info      a store to a constant-addressed
+                                   region the program never loads
+                                   back (visible only in the final
+                                   memory image)
+=======================  ========  ===================================
+
+``error`` findings make :func:`repro.analysis.analyze_program`'s
+``clean`` verdict false and give ``repro-reese lint`` a non-zero exit;
+``warning`` findings do too.  ``info`` findings are advisory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..isa.instructions import Op, OPINFO
+from ..isa.program import DATA_BASE, Program
+from ..isa.registers import REG_SP, reg_name
+from .cfg import CFG
+from .dataflow import DataflowResult, USE_LOAD_ADDR, USE_STORE_ADDR
+from .masking import CLASS_DEAD, MaskingAnalysis
+
+SEV_ERROR = "error"
+SEV_WARNING = "warning"
+SEV_INFO = "info"
+SEVERITIES = (SEV_ERROR, SEV_WARNING, SEV_INFO)
+
+#: Severities that make a program not lint-clean.
+GATING_SEVERITIES = frozenset({SEV_ERROR, SEV_WARNING})
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One linter diagnostic."""
+
+    rule: str
+    severity: str
+    index: Optional[int]    # instruction index, or None for whole-program
+    message: str
+
+    def render(self, program_name: str = "") -> str:
+        where = f"@{self.index}" if self.index is not None else "-"
+        prefix = f"{program_name}:" if program_name else ""
+        return f"{prefix}{where}: {self.severity}: {self.rule}: {self.message}"
+
+
+def _check_falls_off_text(cfg: CFG) -> List[LintFinding]:
+    findings = []
+    program = cfg.program
+    n = len(program.code)
+    for block in cfg.blocks:
+        if block.id not in cfg.reachable:
+            continue
+        term = block.terminator
+        info = OPINFO[program.code[term].op]
+        if info.is_halt:
+            continue
+        if not block.succs and term == n - 1:
+            findings.append(LintFinding(
+                "falls-off-text", SEV_ERROR, term,
+                "a reachable path runs past the last instruction "
+                "(no halt on this path)",
+            ))
+    return findings
+
+
+def _check_unreachable(cfg: CFG) -> List[LintFinding]:
+    return [
+        LintFinding(
+            "unreachable-block", SEV_WARNING, block.start,
+            f"instructions {block.start}..{block.end - 1} are "
+            f"unreachable from the entry",
+        )
+        for block in cfg.unreachable_blocks()
+    ]
+
+
+def _check_uninit_reads(cfg: CFG, dataflow: DataflowResult) -> List[LintFinding]:
+    findings = []
+    seen: Set[Tuple[int, int]] = set()
+    for use in dataflow.uninitialised_reads:
+        if use.reg == REG_SP:
+            continue  # sp is initialised by the ABI (stack base)
+        if cfg.block_of.get(use.index) not in cfg.reachable:
+            continue
+        key = (use.index, use.reg)
+        if key in seen:
+            continue
+        seen.add(key)
+        findings.append(LintFinding(
+            "uninit-read", SEV_WARNING, use.index,
+            f"{reg_name(use.reg)} may be read before any write "
+            f"(observes the zeroed initial register state)",
+        ))
+    return findings
+
+
+def _check_indirect_targets(cfg: CFG) -> List[LintFinding]:
+    if cfg.return_points:
+        return []
+    findings = []
+    for index, inst in enumerate(cfg.program.code):
+        if inst.op in (Op.JR, Op.JALR):
+            findings.append(LintFinding(
+                "indirect-no-targets", SEV_WARNING, index,
+                "indirect jump with no call sites to return to; "
+                "the CFG assumes every label is a possible target",
+            ))
+    return findings
+
+
+def _check_dead_writes(
+    cfg: CFG, masking: MaskingAnalysis
+) -> List[LintFinding]:
+    findings = []
+    for index, reg in masking.sites_of(CLASS_DEAD):
+        if cfg.block_of.get(index) not in cfg.reachable:
+            continue
+        findings.append(LintFinding(
+            "dead-write", SEV_INFO, index,
+            f"value written to {reg_name(reg)} can never reach a "
+            f"visible sink (un-ACE fault site)",
+        ))
+    return findings
+
+
+def _constant_bases(dataflow: DataflowResult) -> Dict[int, int]:
+    """def site index -> constant it materialises, for address constants.
+
+    Recognises ``addi rd, zero, imm`` and ``lui rd, imm`` producing a
+    value inside the data segment — the idiom ``la``/``li`` assemble to.
+    """
+    constants: Dict[int, int] = {}
+    code = dataflow.cfg.program.code
+    for index, inst in enumerate(code):
+        value: Optional[int] = None
+        if inst.op is Op.ADDI and inst.rs1 <= 0:
+            value = inst.imm
+        elif inst.op is Op.LUI:
+            value = (inst.imm << 16) & 0xFFFFFFFF
+        if value is not None and value >= DATA_BASE:
+            constants[index] = value
+    return constants
+
+
+def _check_store_never_loaded(dataflow: DataflowResult) -> List[LintFinding]:
+    """Stores to constant addresses the program never loads back.
+
+    Only applies when every reaching definition of the base register is
+    a recognised address constant (so the address is statically known);
+    anything else is skipped rather than guessed at.
+    """
+    constants = _constant_bases(dataflow)
+    code = dataflow.cfg.program.code
+
+    def resolved_addresses(use) -> Optional[Set[int]]:
+        if not use.defs:
+            return None
+        addresses: Set[int] = set()
+        for def_index, _reg in use.defs:
+            if def_index not in constants:
+                return None
+            addresses.add(
+                (constants[def_index] + code[use.index].imm) & 0xFFFFFFFF
+            )
+        return addresses
+
+    loaded: Set[int] = set()
+    store_sites: List[Tuple[int, Set[int]]] = []
+    for use in dataflow.uses:
+        if use.kind == USE_LOAD_ADDR:
+            addresses = resolved_addresses(use)
+            if addresses is None:
+                # Unknown load address: could alias anything — give up
+                # on the whole check rather than report false positives.
+                return []
+            loaded |= addresses
+        elif use.kind == USE_STORE_ADDR:
+            addresses = resolved_addresses(use)
+            if addresses is not None:
+                store_sites.append((use.index, addresses))
+
+    findings = []
+    for index, addresses in store_sites:
+        if addresses & loaded:
+            continue
+        findings.append(LintFinding(
+            "store-never-loaded", SEV_INFO, index,
+            f"store to {', '.join(f'{a:#x}' for a in sorted(addresses))} "
+            f"is never loaded back (visible only in the final memory "
+            f"image)",
+        ))
+    return findings
+
+
+def lint_program(
+    cfg: CFG,
+    dataflow: DataflowResult,
+    masking: MaskingAnalysis,
+) -> List[LintFinding]:
+    """Run every lint rule; findings sorted by severity then position."""
+    findings: List[LintFinding] = []
+    findings += _check_falls_off_text(cfg)
+    findings += _check_unreachable(cfg)
+    findings += _check_uninit_reads(cfg, dataflow)
+    findings += _check_indirect_targets(cfg)
+    findings += _check_dead_writes(cfg, masking)
+    findings += _check_store_never_loaded(dataflow)
+    order = {sev: rank for rank, sev in enumerate(SEVERITIES)}
+    findings.sort(
+        key=lambda f: (order[f.severity], f.index if f.index is not None
+                       else -1, f.rule)
+    )
+    return findings
+
+
+def is_clean(findings: List[LintFinding]) -> bool:
+    """True when no finding gates (errors and warnings gate)."""
+    return all(f.severity not in GATING_SEVERITIES for f in findings)

@@ -1,0 +1,126 @@
+"""Static fault-masking (ACE) classification of register fault sites.
+
+A **fault site** is a pair ``(instruction index, destination register)``
+— the place a soft error lands when the instruction's result is
+corrupted before being written back.  The classifier walks the def-use
+graph (:mod:`repro.analysis.dataflow`) and labels every site:
+
+=========  ==========================================================
+``dead``   the value can never reach an architecturally visible
+           consumer: it is either never read before redefinition, or
+           read only by computations whose own results are
+           (transitively) dead.  Corrupting it cannot change program
+           output, final memory, or control flow — un-ACE.
+``live``   the value can reach a data-visible sink: store address or
+           data, a load address (a corrupted address can also fault
+           architecturally), or program output.
+``control``the value can reach a branch condition or indirect-jump
+           address, so corruption may diverge control flow.  A site
+           that reaches both control and data sinks is ``control``.
+=========  ==========================================================
+
+``dead`` is the verdict the campaign oracle enforces dynamically
+(a ``dead`` site producing visible corruption means the analysis or
+the simulator is wrong), so it must be *sound*: the CFG
+over-approximates control flow and the def-use chains over-approximate
+value flow, which makes the reachable-sink set an over-approximation —
+a site is labelled ``dead`` only when **no** path to a sink exists.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from .dataflow import (
+    CONTROL_SINK_KINDS,
+    DATA_SINK_KINDS,
+    DataflowResult,
+    DefSite,
+    PROPAGATING_KINDS,
+)
+
+#: Class labels, in increasing severity order.
+CLASS_DEAD = "dead"
+CLASS_LIVE = "live"
+CLASS_CONTROL = "control"
+CLASSES = (CLASS_DEAD, CLASS_LIVE, CLASS_CONTROL)
+
+
+@dataclass
+class MaskingAnalysis:
+    """Per-site fault-masking classification of one program."""
+
+    #: (instruction index, destination register) -> class label.
+    sites: Dict[DefSite, str] = field(default_factory=dict)
+    #: Sites whose value is never read at all (liveness-level deadness,
+    #: a strict subset of the ``dead`` class).
+    directly_dead: Set[DefSite] = field(default_factory=set)
+
+    @property
+    def class_counts(self) -> Counter:
+        return Counter(self.sites.values())
+
+    def sites_of(self, klass: str) -> List[DefSite]:
+        """All sites of one class, in program order."""
+        return sorted(s for s, c in self.sites.items() if c == klass)
+
+    def classify(self, index: int, reg: int) -> str:
+        """Class of one site (KeyError if the site does not exist)."""
+        return self.sites[(index, reg)]
+
+
+def classify_sites(dataflow: DataflowResult) -> MaskingAnalysis:
+    """Label every fault site of the analysed program.
+
+    Reachability to sinks is computed as a backward fixpoint over the
+    def-use graph: a definition inherits the sink flags of its direct
+    uses, plus — through value-propagating uses (``compute``,
+    ``load_addr``) — the flags of the consuming instruction's own
+    definition.
+    """
+    sites = sorted(dataflow.du_chains.keys())
+    reaches_data: Set[DefSite] = set()
+    reaches_control: Set[DefSite] = set()
+
+    # feeders[e] = definitions whose value propagates into definition e.
+    feeders: Dict[DefSite, List[DefSite]] = {site: [] for site in sites}
+    seed_data: List[DefSite] = []
+    seed_control: List[DefSite] = []
+
+    for site in sites:
+        for use in dataflow.du_chains[site]:
+            if use.kind in DATA_SINK_KINDS and site not in reaches_data:
+                reaches_data.add(site)
+                seed_data.append(site)
+            if use.kind in CONTROL_SINK_KINDS and site not in reaches_control:
+                reaches_control.add(site)
+                seed_control.append(site)
+            if use.kind in PROPAGATING_KINDS:
+                consumer_reg = dataflow.def_of[use.index]
+                if consumer_reg >= 0:
+                    feeders[(use.index, consumer_reg)].append(site)
+
+    def propagate(flagged: Set[DefSite], frontier: List[DefSite]) -> None:
+        while frontier:
+            site = frontier.pop()
+            for feeder in feeders.get(site, ()):
+                if feeder not in flagged:
+                    flagged.add(feeder)
+                    frontier.append(feeder)
+
+    propagate(reaches_data, seed_data)
+    propagate(reaches_control, seed_control)
+
+    analysis = MaskingAnalysis()
+    for site in sites:
+        if site in reaches_control:
+            analysis.sites[site] = CLASS_CONTROL
+        elif site in reaches_data:
+            analysis.sites[site] = CLASS_LIVE
+        else:
+            analysis.sites[site] = CLASS_DEAD
+        if dataflow.directly_dead(site):
+            analysis.directly_dead.add(site)
+    return analysis

@@ -10,8 +10,12 @@ Subcommands::
     repro-reese bench gcc            # one benchmark on base + REESE
     repro-reese faults --rate 1e-4   # fault-injection demonstration
     repro-reese campaign gcc         # architectural SDC campaign
+    repro-reese campaign gcc --sites # stratified site-level campaign
+    repro-reese campaign gcc --static-oracle   # + fail on dead-site SDC
     repro-reese sweep                # spare-capacity design-space grid
     repro-reese compare li           # baseline vs REESE vs dispatch-dup
+    repro-reese analyze gcc          # static CFG/dataflow/masking report
+    repro-reese lint all             # workload linter over the suite
 
 ``--scale N`` (or ``REPRO_BENCH_INSTRUCTIONS``) sets dynamic
 instructions per benchmark; an explicit ``--scale`` always beats the
@@ -195,16 +199,62 @@ def _cmd_export(args) -> int:
 
 
 def _cmd_campaign(args) -> int:
-    from ..workloads.suite import BENCHMARKS
-    from .campaign import run_campaign
+    from .campaign import run_campaign, run_site_campaign
 
     program = BENCHMARKS[args.benchmark].build(scale=args.scale or 5000)
+    if args.sites or args.static_oracle or args.skip_dead:
+        result = run_site_campaign(
+            program, runs=args.runs, seed=args.seed,
+            jobs=args.jobs or (os.cpu_count() or 1),
+            skip_dead=args.skip_dead,
+            use_analysis_cache=not args.no_cache,
+        )
+        print(result.report())
+        if args.export_dir:
+            from . import export
+
+            written = export.write_site_campaign(result, args.export_dir)
+            for fmt, path in written.items():
+                print(f"wrote {fmt}: {path}")
+        if args.static_oracle and result.mismatches:
+            return 1
+        return 0
     result = run_campaign(
         program, runs=args.runs, rate=args.rate, seed=args.seed,
         jobs=args.jobs or (os.cpu_count() or 1),
     )
     print(result.report())
     return 0
+
+
+def _programs_from(args):
+    """(name, program) pairs for a benchmark argument or ``all``."""
+    names = BENCHMARK_ORDER if args.benchmark == "all" else [args.benchmark]
+    scale = args.scale or 5000
+    return [(name, BENCHMARKS[name].build(scale=scale)) for name in names]
+
+
+def _cmd_analyze(args) -> int:
+    from ..analysis import analyze_program
+
+    blocks = []
+    for _name, program in _programs_from(args):
+        result = analyze_program(program, use_cache=not args.no_cache)
+        blocks.append(reporting.analysis_report(result))
+    print("\n\n".join(blocks))
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    from ..analysis import analyze_program
+
+    dirty = 0
+    for _name, program in _programs_from(args):
+        result = analyze_program(program, use_cache=not args.no_cache)
+        print(reporting.lint_report(result, verbose=args.verbose))
+        if not result.clean:
+            dirty += 1
+    return 1 if dirty else 0
 
 
 def _cmd_sweep(args) -> int:
@@ -309,6 +359,47 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--runs", type=int, default=40)
     campaign.add_argument("--rate", type=float, default=2e-3)
     campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument(
+        "--sites",
+        action="store_true",
+        help="stratified site-level campaign over analyzer-classified "
+             "(instruction, register) fault sites",
+    )
+    oracle = campaign.add_mutually_exclusive_group()
+    oracle.add_argument(
+        "--static-oracle",
+        action="store_true",
+        dest="static_oracle",
+        help="site campaign that exits non-zero when a dead-classified "
+             "site shows visible corruption",
+    )
+    oracle.add_argument(
+        "--skip-dead",
+        action="store_true",
+        dest="skip_dead",
+        help="site campaign settling dead-classified samples statically "
+             "(skips their emulations)",
+    )
+    campaign.add_argument(
+        "--export",
+        default=None,
+        dest="export_dir",
+        metavar="DIR",
+        help="write the site campaign's json/csv under DIR",
+    )
+    analyze = sub.add_parser(
+        "analyze", help="static CFG/dataflow/masking analysis"
+    )
+    analyze.add_argument(
+        "benchmark", choices=list(BENCHMARK_ORDER) + ["all"]
+    )
+    lint = sub.add_parser("lint", help="workload linter (non-zero if dirty)")
+    lint.add_argument("benchmark", choices=list(BENCHMARK_ORDER) + ["all"])
+    lint.add_argument(
+        "--verbose",
+        action="store_true",
+        help="show informational findings too",
+    )
     sweep = sub.add_parser("sweep", help="spare-capacity design space")
     sweep.add_argument("--max-alu", type=int, default=3, dest="max_alu")
     sweep.add_argument("--max-mult", type=int, default=1, dest="max_mult")
@@ -331,6 +422,8 @@ _HANDLERS = {
     "bench": _cmd_bench,
     "faults": _cmd_faults,
     "campaign": _cmd_campaign,
+    "analyze": _cmd_analyze,
+    "lint": _cmd_lint,
     "sweep": _cmd_sweep,
     "compare": _cmd_compare,
     "export": _cmd_export,

@@ -9,7 +9,12 @@ plotting or archival:
   IPC grid with averages and gaps;
 * :func:`figure_to_csv` — the same grid as CSV rows;
 * :func:`write_figure` — convenience writer used by the CLI's
-  ``export`` subcommand.
+  ``export`` subcommand;
+* :func:`analysis_to_dict` — a program's static analysis (structure
+  summary, per-class fault-site counts, lint findings);
+* :func:`site_campaign_to_dict` / :func:`site_campaign_to_csv` /
+  :func:`write_site_campaign` — a site-level oracle campaign's
+  per-class outcome grid and any mismatches.
 """
 
 from __future__ import annotations
@@ -20,7 +25,9 @@ import json
 import pathlib
 from typing import Any, Dict
 
+from ..analysis import AnalysisResult, CLASSES
 from ..uarch.stats import Stats
+from .campaign import OUTCOMES, SiteCampaignResult
 from .experiments import FigureResult, SERIES_BASELINE
 
 
@@ -87,6 +94,99 @@ def figure_to_csv(result: FigureResult) -> str:
            for label in spec.series_labels]
     )
     return buffer.getvalue()
+
+
+def analysis_to_dict(result: AnalysisResult) -> Dict[str, Any]:
+    """A program's static analysis as a JSON-safe dict."""
+    payload = result.to_payload()
+    payload["fingerprint"] = result.fingerprint
+    payload["from_cache"] = result.from_cache
+    payload["clean"] = result.clean
+    payload["class_counts"] = {
+        klass: result.class_counts.get(klass, 0) for klass in CLASSES
+    }
+    return payload
+
+
+def site_campaign_to_dict(result: SiteCampaignResult) -> Dict[str, Any]:
+    """A site campaign's per-class outcome grid as a JSON-safe dict."""
+    return {
+        "program": result.program_name,
+        "runs": result.runs,
+        "seed": result.seed,
+        "emulations": result.emulations,
+        "skipped_dead": result.skipped_dead,
+        "analysis_from_cache": result.analysis_from_cache,
+        "site_pool": {
+            klass: result.site_pool.get(klass, 0) for klass in CLASSES
+        },
+        "by_class": {
+            klass: {
+                outcome: result.by_class.get(klass, {}).get(outcome, 0)
+                for outcome in OUTCOMES
+            }
+            for klass in CLASSES
+        },
+        "visible": {
+            klass: result.visible(klass) for klass in CLASSES
+        },
+        "mismatches": [
+            {
+                "index": record.index,
+                "reg": record.reg,
+                "class": record.klass,
+                "occurrence": record.occurrence,
+                "bit": record.bit,
+                "outcome": record.outcome,
+                "instruction": record.instruction,
+            }
+            for record in result.mismatches
+        ],
+    }
+
+
+def site_campaign_to_json(result: SiteCampaignResult, indent: int = 2) -> str:
+    """The site campaign as a JSON document."""
+    return json.dumps(
+        site_campaign_to_dict(result), indent=indent, sort_keys=True
+    )
+
+
+def site_campaign_to_csv(result: SiteCampaignResult) -> str:
+    """The per-class outcome grid as CSV (class rows, outcome columns)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["class", "pool"] + list(OUTCOMES) + ["visible"])
+    for klass in CLASSES:
+        counter = result.by_class.get(klass, {})
+        writer.writerow(
+            [klass, result.site_pool.get(klass, 0)]
+            + [counter.get(outcome, 0) for outcome in OUTCOMES]
+            + [result.visible(klass)]
+        )
+    return buffer.getvalue()
+
+
+def write_site_campaign(
+    result: SiteCampaignResult,
+    directory: str,
+    formats: tuple = ("json", "csv"),
+) -> Dict[str, str]:
+    """Write a site campaign's results; returns path per format."""
+    out_dir = pathlib.Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = f"sites_{result.program_name}"
+    written: Dict[str, str] = {}
+    for fmt in formats:
+        path = out_dir / f"{stem}.{fmt}"
+        if fmt == "json":
+            path.write_text(site_campaign_to_json(result))
+        elif fmt == "csv":
+            path.write_text(site_campaign_to_csv(result))
+        else:
+            raise ValueError(f"unknown export format: {fmt!r}")
+        written[fmt] = str(path)
+    return written
 
 
 def write_figure(

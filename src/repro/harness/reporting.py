@@ -9,8 +9,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Sequence
 
+from ..analysis import AnalysisResult, CLASSES
 from ..uarch.observe import occupancy_mean
 from ..uarch.stats import Stats
+from .campaign import OUTCOMES, SiteCampaignResult
 from .experiments import (
     FigureResult,
     SERIES_BASELINE,
@@ -183,6 +185,82 @@ def metrics_report(stats: Stats) -> str:
                 f"{name}={count}" for name, count in fu[stream].items()
             )
             lines.append(f"FU issues ({stream}-stream): {split or 'none'}")
+    return "\n".join(lines)
+
+
+def analysis_report(result: AnalysisResult) -> str:
+    """Render one program's static analysis as text.
+
+    Structure summary, the per-class fault-site breakdown (the number
+    later PRs report detection coverage against), and lint findings.
+    """
+    total_sites = sum(result.class_counts.values()) or 1
+    lines = [
+        f"static analysis of {result.program_name!r} "
+        f"({'cached' if result.from_cache else 'fresh'}; "
+        f"fingerprint {result.fingerprint[:12]})",
+        f"  {result.instructions} instructions, {result.blocks} blocks, "
+        f"{result.edges} edges, {result.loops} natural loops, "
+        f"{result.unreachable_blocks} unreachable blocks",
+    ]
+    rows: List[List[str]] = [["site class", "sites", "fraction"]]
+    for klass in CLASSES:
+        count = result.class_counts.get(klass, 0)
+        rows.append([klass, str(count), f"{count / total_sites:.0%}"])
+    lines.append(format_table(rows))
+    gating = [f for f in result.findings if f.severity != "info"]
+    info = len(result.findings) - len(gating)
+    lines.append(
+        f"  lint: {'clean' if result.clean else 'NOT CLEAN'} "
+        f"({len(gating)} gating finding(s), {info} informational)"
+    )
+    for finding in gating:
+        lines.append(f"    {finding.render(result.program_name)}")
+    return "\n".join(lines)
+
+
+def lint_report(result: AnalysisResult, verbose: bool = False) -> str:
+    """Render lint findings; ``verbose`` includes info-level ones."""
+    findings = [
+        f for f in result.findings
+        if verbose or f.severity != "info"
+    ]
+    suppressed = len(result.findings) - len(findings)
+    status = "clean" if result.clean else "NOT CLEAN"
+    lines = [f"lint {result.program_name!r}: {status}"]
+    lines += [f"  {finding.render()}" for finding in findings]
+    if suppressed and not verbose:
+        lines.append(
+            f"  ({suppressed} informational finding(s) hidden; "
+            f"use --verbose)"
+        )
+    return "\n".join(lines)
+
+
+def site_campaign_report(result: SiteCampaignResult) -> str:
+    """Per-class outcome breakdown of a site campaign as a table."""
+    lines = [
+        f"site campaign on {result.program_name!r}: {result.runs} "
+        f"stratified injections (seed {result.seed}, "
+        f"{result.emulations} emulated, {result.skipped_dead} settled "
+        f"statically)",
+    ]
+    rows: List[List[str]] = [
+        ["class", "pool"] + list(OUTCOMES[1:]) + ["visible"]
+    ]
+    for klass in CLASSES:
+        counter = result.by_class.get(klass, {})
+        rows.append(
+            [klass, str(result.site_pool.get(klass, 0))]
+            + [str(counter.get(outcome, 0)) for outcome in OUTCOMES[1:]]
+            + [str(result.visible(klass))]
+        )
+    lines.append(format_table(rows))
+    if result.mismatches:
+        lines.append(f"ORACLE MISMATCHES: {len(result.mismatches)}")
+        lines += [f"  {record.render()}" for record in result.mismatches]
+    else:
+        lines.append("oracle: 0 mismatches")
     return "\n".join(lines)
 
 

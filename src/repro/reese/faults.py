@@ -92,16 +92,30 @@ class NoFaults(FaultModel):
 
 
 class ScheduledFaultModel(FaultModel):
-    """Deterministic fault events: a list of (start, duration, bit)."""
+    """Deterministic fault events: a list of (start, duration, bit).
+
+    The event list is validated at construction: durations must be
+    positive, bits in range, and windows must not overlap — two
+    concurrent events would make :meth:`fault_bit_at` silently prefer
+    whichever sorts first, which is never what a test means.
+    """
 
     def __init__(self, events: Sequence[Tuple[int, int, int]]) -> None:
         super().__init__()
         self.events: List[Tuple[int, int, int]] = sorted(events)
+        previous_end: Optional[int] = None
         for start, duration, bit in self.events:
             if duration <= 0:
                 raise ValueError("event duration must be positive")
             if not 0 <= bit < 64:
                 raise ValueError("bit must be in [0, 64)")
+            if previous_end is not None and start < previous_end:
+                raise ValueError(
+                    f"fault events overlap: the event at cycle {start} "
+                    f"starts before the previous one ends at "
+                    f"{previous_end}"
+                )
+            previous_end = start + duration
 
     def fault_bit_at(self, cycle: int) -> Optional[int]:
         for start, duration, bit in self.events:

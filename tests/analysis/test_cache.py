@@ -1,0 +1,117 @@
+"""Analysis entry point and its on-disk cache."""
+
+import json
+
+import pytest
+
+from repro.isa import assemble
+from repro.analysis import (
+    AnalysisResult,
+    analyze_program,
+    program_fingerprint,
+)
+from repro.analysis.cache import AnalysisCache
+
+SOURCE = """
+main:
+    li   r1, 10
+    li   r2, 0
+loop:
+    add  r2, r2, r1
+    subi r1, r1, 1
+    bnez r1, loop
+    putint r2
+    halt
+"""
+
+
+@pytest.fixture
+def program():
+    return assemble(SOURCE, name="sum10")
+
+
+class TestFingerprint:
+    def test_stable_across_name(self, program):
+        renamed = assemble(SOURCE, name="other")
+        assert program_fingerprint(program) == program_fingerprint(renamed)
+
+    def test_sensitive_to_code(self, program):
+        changed = assemble(SOURCE.replace("li   r1, 10", "li   r1, 11"),
+                           name="sum10")
+        assert program_fingerprint(program) != program_fingerprint(changed)
+
+    def test_sensitive_to_labels(self, program):
+        relabelled = assemble(SOURCE.replace("loop", "body"), name="sum10")
+        assert program_fingerprint(program) != program_fingerprint(relabelled)
+
+
+class TestAnalyzeProgram:
+    def test_cold_then_warm(self, program, tmp_path):
+        cold = analyze_program(program, cache_dir=tmp_path)
+        warm = analyze_program(program, cache_dir=tmp_path)
+        assert not cold.from_cache
+        assert warm.from_cache
+        assert warm.fingerprint == cold.fingerprint
+        assert warm.site_classes == cold.site_classes
+        assert warm.directly_dead == cold.directly_dead
+        assert warm.findings == cold.findings
+        assert (warm.instructions, warm.blocks, warm.edges, warm.loops) == (
+            cold.instructions, cold.blocks, cold.edges, cold.loops
+        )
+
+    def test_cache_hit_reports_callers_name(self, program, tmp_path):
+        analyze_program(program, cache_dir=tmp_path)
+        renamed = assemble(SOURCE, name="renamed")
+        result = analyze_program(renamed, cache_dir=tmp_path)
+        assert result.from_cache
+        assert result.program_name == "renamed"
+
+    def test_use_cache_false_never_touches_disk(self, program, tmp_path):
+        result = analyze_program(program, use_cache=False,
+                                 cache_dir=tmp_path)
+        assert not result.from_cache
+        assert list(tmp_path.iterdir()) == []
+
+    def test_env_var_cache_root(self, program, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        analyze_program(program)
+        assert (tmp_path / "analysis").is_dir()
+
+    def test_summary_fields(self, program):
+        result = analyze_program(program, use_cache=False)
+        assert result.instructions == 7
+        assert result.blocks == 3
+        assert result.loops == 1
+        assert result.unreachable_blocks == 0
+        assert result.clean
+        assert sum(result.class_counts.values()) == len(result.site_classes)
+
+
+class TestCacheStore:
+    def test_version_mismatch_is_a_miss(self, program, tmp_path):
+        cache = AnalysisCache(tmp_path)
+        fingerprint = program_fingerprint(program)
+        analyze_program(program, cache_dir=tmp_path)
+        path = cache.path_for(fingerprint)
+        data = json.loads(path.read_text())
+        data["version"] = -1
+        path.write_text(json.dumps(data))
+        assert cache.get(fingerprint) is None
+        assert not analyze_program(program, cache_dir=tmp_path).from_cache
+
+    def test_corrupt_entry_is_a_miss(self, program, tmp_path):
+        cache = AnalysisCache(tmp_path)
+        fingerprint = program_fingerprint(program)
+        analyze_program(program, cache_dir=tmp_path)
+        cache.path_for(fingerprint).write_text("{not json")
+        assert cache.get(fingerprint) is None
+
+    def test_payload_round_trip(self, program):
+        result = analyze_program(program, use_cache=False)
+        clone = AnalysisResult.from_payload(
+            result.to_payload(), result.fingerprint, from_cache=True
+        )
+        assert clone.site_classes == result.site_classes
+        assert clone.directly_dead == result.directly_dead
+        assert clone.findings == result.findings
+        assert clone.from_cache

@@ -1,0 +1,197 @@
+"""CFG recovery: known-answer tests on hand-written programs."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.analysis.cfg import (
+    build_cfg,
+    call_return_points,
+    instruction_successors,
+)
+
+LOOP_SOURCE = """
+main:
+    li   r1, 100
+    li   r2, 0
+loop:
+    add  r2, r2, r1
+    subi r1, r1, 1
+    bnez r1, loop
+    putint r2
+    halt
+"""
+
+DIAMOND_SOURCE = """
+main:
+    li   r1, 5
+    beqz r1, else
+    li   r2, 1
+    j    join
+else:
+    li   r2, 2
+join:
+    putint r2
+    halt
+dead:
+    li   r3, 9
+    halt
+"""
+
+CALL_SOURCE = """
+main:
+    li   r4, 7
+    call square
+    putint r5
+    halt
+square:
+    mul  r5, r4, r4
+    ret
+"""
+
+
+@pytest.fixture
+def loop_cfg():
+    return build_cfg(assemble(LOOP_SOURCE, name="loop"))
+
+
+@pytest.fixture
+def diamond_cfg():
+    return build_cfg(assemble(DIAMOND_SOURCE, name="diamond"))
+
+
+class TestBlocks:
+    def test_loop_block_boundaries(self, loop_cfg):
+        spans = [(b.start, b.end) for b in loop_cfg.blocks]
+        assert spans == [(0, 2), (2, 5), (5, 7)]
+
+    def test_block_of_covers_every_instruction(self, loop_cfg):
+        assert loop_cfg.block_of == {
+            0: 0, 1: 0, 2: 1, 3: 1, 4: 1, 5: 2, 6: 2,
+        }
+
+    def test_loop_edges(self, loop_cfg):
+        assert set(loop_cfg.blocks[0].succs) == {1}
+        assert set(loop_cfg.blocks[1].succs) == {1, 2}
+        assert loop_cfg.blocks[2].succs == []
+        assert loop_cfg.edge_count() == 3
+
+    def test_diamond_block_boundaries(self, diamond_cfg):
+        spans = [(b.start, b.end) for b in diamond_cfg.blocks]
+        assert spans == [(0, 2), (2, 4), (4, 5), (5, 7), (7, 9)]
+
+    def test_diamond_edges(self, diamond_cfg):
+        assert set(diamond_cfg.blocks[0].succs) == {1, 2}
+        assert set(diamond_cfg.blocks[1].succs) == {3}
+        assert set(diamond_cfg.blocks[2].succs) == {3}
+        assert diamond_cfg.blocks[3].succs == []
+
+    def test_preds_mirror_succs(self, diamond_cfg):
+        for block in diamond_cfg.blocks:
+            for succ in block.succs:
+                assert block.id in diamond_cfg.blocks[succ].preds
+
+
+class TestReachability:
+    def test_loop_fully_reachable(self, loop_cfg):
+        assert loop_cfg.reachable == {0, 1, 2}
+        assert loop_cfg.unreachable_blocks() == []
+
+    def test_diamond_dead_tail(self, diamond_cfg):
+        assert diamond_cfg.reachable == {0, 1, 2, 3}
+        dead = diamond_cfg.unreachable_blocks()
+        assert [b.start for b in dead] == [7]
+
+
+class TestDominators:
+    def test_loop_dominator_tree(self, loop_cfg):
+        assert loop_cfg.idom == {0: 0, 1: 0, 2: 1}
+
+    def test_diamond_join_dominated_by_entry_only(self, diamond_cfg):
+        assert diamond_cfg.idom[3] == 0
+        assert diamond_cfg.dominates(0, 3)
+        assert not diamond_cfg.dominates(1, 3)
+        assert not diamond_cfg.dominates(2, 3)
+
+    def test_unreachable_blocks_have_no_idom(self, diamond_cfg):
+        assert 4 not in diamond_cfg.idom
+
+    def test_dominates_is_reflexive(self, loop_cfg):
+        for bid in loop_cfg.reachable:
+            assert loop_cfg.dominates(bid, bid)
+
+
+class TestLoops:
+    def test_loop_detected(self, loop_cfg):
+        assert len(loop_cfg.loops) == 1
+        loop = loop_cfg.loops[0]
+        assert loop.header == 1
+        assert loop.tail == 1
+        assert loop.body == {1}
+
+    def test_diamond_has_no_loops(self, diamond_cfg):
+        assert diamond_cfg.loops == []
+
+    def test_nested_loop_bodies(self):
+        cfg = build_cfg(assemble("""
+        main:
+            li   r1, 3
+        outer:
+            li   r2, 3
+        inner:
+            subi r2, r2, 1
+            bnez r2, inner
+            subi r1, r1, 1
+            bnez r1, outer
+            halt
+        """, name="nested"))
+        assert len(cfg.loops) == 2
+        bodies = sorted(len(loop.body) for loop in cfg.loops)
+        # Inner loop is one block; the outer body contains the inner.
+        assert bodies[0] < bodies[1]
+
+
+class TestIndirectJumps:
+    def test_call_return_points(self):
+        program = assemble(CALL_SOURCE, name="call")
+        assert call_return_points(program) == (2,)
+
+    def test_ret_targets_return_points(self):
+        program = assemble(CALL_SOURCE, name="call")
+        assert instruction_successors(program, 5, (2,)) == (2,)
+
+    def test_call_graph_shape(self):
+        cfg = build_cfg(assemble(CALL_SOURCE, name="call"))
+        spans = [(b.start, b.end) for b in cfg.blocks]
+        assert spans == [(0, 2), (2, 4), (4, 6)]
+        assert set(cfg.blocks[0].succs) == {2}   # jal -> square
+        assert set(cfg.blocks[2].succs) == {1}   # ret -> return point
+        assert cfg.reachable == {0, 1, 2}
+
+    def test_indirect_without_calls_targets_all_labels(self):
+        program = assemble("""
+        main:
+            li r1, 0
+            jr r1
+        end:
+            halt
+        """, name="indirect")
+        assert call_return_points(program) == ()
+        # Falls back to every label: main=0, end=2.
+        assert instruction_successors(program, 1, ()) == (0, 2)
+
+
+class TestHaltAndStraightLine:
+    def test_halt_has_no_successors(self, loop_cfg):
+        assert instruction_successors(loop_cfg.program, 6, ()) == ()
+
+    def test_straight_line_is_one_block(self):
+        cfg = build_cfg(assemble("""
+        main:
+            li r1, 1
+            addi r1, r1, 2
+            putint r1
+            halt
+        """, name="straight"))
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].succs == []
+        assert cfg.loops == []

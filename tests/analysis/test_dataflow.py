@@ -1,0 +1,175 @@
+"""Dataflow passes: known-answer tests for reaching defs and liveness."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import (
+    USE_BRANCH,
+    USE_COMPUTE,
+    USE_LOAD_ADDR,
+    USE_OUTPUT,
+    USE_STORE_ADDR,
+    USE_STORE_DATA,
+    analyze_dataflow,
+    instruction_uses,
+)
+
+
+def dataflow_for(source, name="t"):
+    return analyze_dataflow(build_cfg(assemble(source, name=name)))
+
+
+@pytest.fixture
+def loop_df():
+    # 0: li r1,100  1: li r2,0  2: add r2,r2,r1  3: subi r1,r1,1
+    # 4: bnez r1,2  5: putint r2  6: halt
+    return dataflow_for("""
+    main:
+        li   r1, 100
+        li   r2, 0
+    loop:
+        add  r2, r2, r1
+        subi r1, r1, 1
+        bnez r1, loop
+        putint r2
+        halt
+    """)
+
+
+class TestUseKinds:
+    def test_kinds_per_op(self, loop_df):
+        code = loop_df.cfg.program.code
+        assert instruction_uses(code[2]) == (
+            (2, USE_COMPUTE), (1, USE_COMPUTE),
+        )
+        assert instruction_uses(code[4]) == ((1, USE_BRANCH),)
+        assert instruction_uses(code[5]) == ((2, USE_OUTPUT),)
+        assert instruction_uses(code[6]) == ()
+
+    def test_memory_kinds(self):
+        df = dataflow_for("""
+        .data
+        buf: .word 1
+        .text
+        main:
+            la r1, buf
+            li r2, 9
+            sw r2, 0(r1)
+            lw r3, 0(r1)
+            halt
+        """)
+        kinds = {(u.index, u.reg): u.kind for u in df.uses}
+        assert kinds[(2, 1)] == USE_STORE_ADDR
+        assert kinds[(2, 2)] == USE_STORE_DATA
+        assert kinds[(3, 1)] == USE_LOAD_ADDR
+
+    def test_zero_register_never_a_use(self):
+        df = dataflow_for("""
+        main:
+            add r1, zero, zero
+            putint r1
+            halt
+        """)
+        assert all(u.reg != 0 for u in df.uses)
+
+
+class TestReachingDefinitions:
+    def test_loop_carried_defs_merge_at_header(self, loop_df):
+        # add r2, r2, r1 at 2: r2 comes from 1 (entry) or 2 (back edge),
+        # r1 from 0 (entry) or 3 (back edge).
+        by_use = {(u.index, u.reg): u.defs for u in loop_df.uses}
+        assert by_use[(2, 2)] == ((1, 2), (2, 2))
+        assert by_use[(2, 1)] == ((0, 1), (3, 1))
+
+    def test_in_block_kill(self, loop_df):
+        # bnez at 4 reads r1; the in-block def at 3 kills both others.
+        by_use = {(u.index, u.reg): u.defs for u in loop_df.uses}
+        assert by_use[(4, 1)] == ((3, 1),)
+
+    def test_killed_def_does_not_reach_exit(self, loop_df):
+        # putint r2 at 5: the initial li (index 1) is killed by the add
+        # at 2 on every path to 5.
+        by_use = {(u.index, u.reg): u.defs for u in loop_df.uses}
+        assert by_use[(5, 2)] == ((2, 2),)
+
+    def test_du_chains_mirror_use_defs(self, loop_df):
+        for use in loop_df.uses:
+            for site in use.defs:
+                assert use in loop_df.du_chains[site]
+
+    def test_diamond_defs_merge_at_join(self):
+        df = dataflow_for("""
+        main:
+            li   r1, 5
+            beqz r1, else
+            li   r2, 1
+            j    join
+        else:
+            li   r2, 2
+        join:
+            putint r2
+            halt
+        """)
+        by_use = {(u.index, u.reg): u.defs for u in df.uses}
+        assert by_use[(5, 2)] == ((2, 2), (4, 2))
+
+    def test_def_sites_enumerates_all_writes(self, loop_df):
+        assert loop_df.def_sites() == [(0, 1), (1, 2), (2, 2), (3, 1)]
+
+
+class TestUninitialisedReads:
+    def test_reads_of_virgin_registers(self):
+        df = dataflow_for("""
+        main:
+            add r2, r3, r4
+            putint r2
+            halt
+        """)
+        virgin = {(u.index, u.reg) for u in df.uninitialised_reads}
+        assert virgin == {(0, 3), (0, 4)}
+
+    def test_fully_initialised_program_has_none(self, loop_df):
+        assert loop_df.uninitialised_reads == []
+
+
+class TestLiveness:
+    def test_live_across_loop(self, loop_df):
+        # r1 and r2 are live out of both entry instructions and across
+        # the loop body; nothing is live out of halt.
+        assert {1, 2} <= loop_df.inst_live_out[1]
+        assert {1, 2} <= loop_df.inst_live_out[3]
+        assert loop_df.inst_live_out[6] == frozenset()
+
+    def test_directly_dead_detection(self):
+        # 0: li r1,1 (overwritten unread)  1: li r1,2  2: putint r1
+        # 3: li r9,3 (never read)  4: halt
+        df = dataflow_for("""
+        main:
+            li r1, 1
+            li r1, 2
+            putint r1
+            li r9, 3
+            halt
+        """)
+        assert df.directly_dead((0, 1))
+        assert df.directly_dead((3, 9))
+        assert not df.directly_dead((1, 1))
+
+    def test_dead_intervals(self):
+        df = dataflow_for("""
+        main:
+            li r1, 1
+            li r1, 2
+            putint r1
+            li r9, 3
+            halt
+        """)
+        spans = {(i.reg, i.start): i.end for i in df.dead_intervals()}
+        assert spans == {(1, 0): 1, (9, 3): None}
+
+    def test_loop_has_no_directly_dead_sites(self, loop_df):
+        assert not any(
+            df_site for df_site in loop_df.def_sites()
+            if loop_df.directly_dead(df_site)
+        )

@@ -1,0 +1,213 @@
+"""Workload linter: one test per rule, plus the suite-wide gate."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.analysis import analyze_program
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import analyze_dataflow
+from repro.analysis.lint import (
+    GATING_SEVERITIES,
+    SEV_ERROR,
+    SEV_INFO,
+    SEV_WARNING,
+    SEVERITIES,
+    is_clean,
+    lint_program,
+)
+from repro.analysis.masking import classify_sites
+from repro.workloads.suite import BENCHMARK_ORDER, BENCHMARKS
+
+
+def lint_for(source, name="t"):
+    cfg = build_cfg(assemble(source, name=name))
+    dataflow = analyze_dataflow(cfg)
+    return lint_program(cfg, dataflow, classify_sites(dataflow))
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+class TestRules:
+    def test_falls_off_text(self):
+        findings = lint_for("""
+        main:
+            li r1, 1
+            putint r1
+        """)
+        errors = [f for f in findings if f.severity == SEV_ERROR]
+        assert [f.rule for f in errors] == ["falls-off-text"]
+        assert errors[0].index == 1
+
+    def test_unreachable_block(self):
+        findings = lint_for("""
+        main:
+            halt
+        dead:
+            li r3, 9
+            halt
+        """)
+        hits = [f for f in findings if f.rule == "unreachable-block"]
+        assert len(hits) == 1
+        assert hits[0].severity == SEV_WARNING
+        assert hits[0].index == 1
+
+    def test_uninit_read(self):
+        findings = lint_for("""
+        main:
+            add r2, r3, r4
+            putint r2
+            halt
+        """)
+        hits = [f for f in findings if f.rule == "uninit-read"]
+        assert len(hits) == 2
+        assert all(f.severity == SEV_WARNING for f in hits)
+
+    def test_sp_reads_are_exempt(self):
+        findings = lint_for("""
+        main:
+            addi r1, sp, 0
+            putint r1
+            halt
+        """)
+        assert "uninit-read" not in rules_of(findings)
+
+    def test_unreachable_code_not_linted_for_uninit(self):
+        # The read of r7 sits in dead code; only the unreachability is
+        # reported, not the phantom uninitialised read.
+        findings = lint_for("""
+        main:
+            halt
+        dead:
+            putint r7
+            halt
+        """)
+        assert "unreachable-block" in rules_of(findings)
+        assert "uninit-read" not in rules_of(findings)
+
+    def test_indirect_no_targets(self):
+        findings = lint_for("""
+        main:
+            li r1, 0
+            jr r1
+        end:
+            halt
+        """)
+        hits = [f for f in findings if f.rule == "indirect-no-targets"]
+        assert len(hits) == 1
+        assert hits[0].index == 1
+
+    def test_dead_write_is_info(self):
+        findings = lint_for("""
+        main:
+            li r9, 3
+            putint zero
+            halt
+        """)
+        hits = [f for f in findings if f.rule == "dead-write"]
+        assert len(hits) == 1
+        assert hits[0].severity == SEV_INFO
+        assert is_clean(findings)
+
+    def test_store_never_loaded(self):
+        findings = lint_for("""
+        .data
+        buf: .word 0, 0
+        .text
+        main:
+            la r1, buf
+            li r2, 9
+            sw r2, 0(r1)
+            halt
+        """)
+        hits = [f for f in findings if f.rule == "store-never-loaded"]
+        assert len(hits) == 1
+        assert hits[0].severity == SEV_INFO
+
+    def test_store_that_is_loaded_back_not_flagged(self):
+        findings = lint_for("""
+        .data
+        buf: .word 0
+        .text
+        main:
+            la r1, buf
+            li r2, 9
+            sw r2, 0(r1)
+            lw r3, 0(r1)
+            putint r3
+            halt
+        """)
+        assert "store-never-loaded" not in rules_of(findings)
+
+    def test_unresolvable_load_disables_store_check(self):
+        # The load base comes through an add, so addresses are unknown:
+        # the check must give up rather than guess.
+        findings = lint_for("""
+        .data
+        a: .word 1
+        b: .word 2
+        .text
+        main:
+            la  r1, a
+            la  r2, b
+            add r3, r1, zero
+            lw  r4, 0(r3)
+            sw  r4, 0(r2)
+            putint r4
+            halt
+        """)
+        assert "store-never-loaded" not in rules_of(findings)
+
+
+class TestOrderingAndGating:
+    def test_sorted_by_severity_then_index(self):
+        findings = lint_for("""
+        main:
+            add r2, r3, r4
+            putint r2
+            li r9, 1
+        """)
+        ranks = [SEVERITIES.index(f.severity) for f in findings]
+        assert ranks == sorted(ranks)
+
+    def test_clean_program(self):
+        findings = lint_for("""
+        main:
+            li r1, 1
+            putint r1
+            halt
+        """)
+        assert findings == []
+        assert is_clean(findings)
+
+    def test_gating_severities(self):
+        assert GATING_SEVERITIES == {SEV_ERROR, SEV_WARNING}
+        assert not is_clean(lint_for("""
+        main:
+            putint r3
+            halt
+        """))
+
+    def test_render_mentions_rule_and_position(self):
+        finding = lint_for("""
+        main:
+            putint r3
+            halt
+        """)[0]
+        text = finding.render("prog")
+        assert "prog:@0" in text and "uninit-read" in text
+
+
+class TestSuiteGate:
+    @pytest.mark.parametrize("bench", BENCHMARK_ORDER)
+    def test_suite_workload_is_lint_clean(self, bench):
+        program = BENCHMARKS[bench].build(scale=2000)
+        result = analyze_program(program, use_cache=False)
+        gating = [
+            f for f in result.findings if f.severity in GATING_SEVERITIES
+        ]
+        assert gating == [], (
+            f"{bench} has gating lint findings: "
+            + "; ".join(f.render(bench) for f in gating)
+        )

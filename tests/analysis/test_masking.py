@@ -1,0 +1,147 @@
+"""Fault-masking classifier: known-answer tests per class."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import analyze_dataflow
+from repro.analysis.masking import (
+    CLASS_CONTROL,
+    CLASS_DEAD,
+    CLASS_LIVE,
+    CLASSES,
+    classify_sites,
+)
+
+
+def masking_for(source, name="t"):
+    return classify_sites(analyze_dataflow(build_cfg(assemble(source,
+                                                             name=name))))
+
+
+class TestClasses:
+    def test_output_chain_is_live(self):
+        # 0: li r1,3  1: mov r2,r1  2: putint r2  3: halt
+        masking = masking_for("""
+        main:
+            li  r1, 3
+            mov r2, r1
+            putint r2
+            halt
+        """)
+        assert masking.classify(0, 1) == CLASS_LIVE   # via r2
+        assert masking.classify(1, 2) == CLASS_LIVE
+
+    def test_branch_condition_is_control(self):
+        masking = masking_for("""
+        main:
+            li   r3, 1
+            beqz r3, end
+            li   r4, 5
+        end:
+            halt
+        """)
+        assert masking.classify(0, 3) == CLASS_CONTROL
+        assert masking.classify(2, 4) == CLASS_DEAD
+
+    def test_control_beats_live(self):
+        # r1 reaches both putint (data) and beqz (control).
+        masking = masking_for("""
+        main:
+            li   r1, 2
+            putint r1
+            beqz r1, end
+        end:
+            halt
+        """)
+        assert masking.classify(0, 1) == CLASS_CONTROL
+
+    def test_store_operands_are_live(self):
+        masking = masking_for("""
+        .data
+        buf: .word 0
+        .text
+        main:
+            la r1, buf
+            li r2, 9
+            sw r2, 0(r1)
+            halt
+        """)
+        assert masking.classify(0, 1) == CLASS_LIVE   # store address
+        assert masking.classify(1, 2) == CLASS_LIVE   # store data
+
+    def test_load_address_is_live(self):
+        # A corrupted load base can fault architecturally, so the
+        # address feeder is live even though the loaded value is dead.
+        masking = masking_for("""
+        .data
+        buf: .word 7
+        .text
+        main:
+            la r1, buf
+            lw r2, 0(r1)
+            halt
+        """)
+        assert masking.classify(0, 1) == CLASS_LIVE
+        assert masking.classify(1, 2) == CLASS_DEAD
+
+    def test_transitively_dead_chain(self):
+        # r1 feeds r2 feeds r2 which nothing ever reads: all dead, but
+        # only the last write is *directly* dead.
+        masking = masking_for("""
+        main:
+            li  r1, 1
+            add r2, r1, r1
+            add r2, r2, r2
+            halt
+        """)
+        assert masking.classify(0, 1) == CLASS_DEAD
+        assert masking.classify(1, 2) == CLASS_DEAD
+        assert masking.classify(2, 2) == CLASS_DEAD
+        assert masking.directly_dead == {(2, 2)}
+
+
+class TestQueries:
+    @pytest.fixture
+    def masking(self):
+        return masking_for("""
+        main:
+            li   r3, 1
+            beqz r3, end
+            li   r4, 5
+        end:
+            halt
+        """)
+
+    def test_every_site_is_classified(self, masking):
+        assert set(masking.sites.values()) <= set(CLASSES)
+        assert len(masking.sites) == 2
+
+    def test_class_counts(self, masking):
+        assert masking.class_counts == {CLASS_CONTROL: 1, CLASS_DEAD: 1}
+
+    def test_sites_of_in_program_order(self, masking):
+        assert masking.sites_of(CLASS_CONTROL) == [(0, 3)]
+        assert masking.sites_of(CLASS_DEAD) == [(2, 4)]
+        assert masking.sites_of(CLASS_LIVE) == []
+
+    def test_directly_dead_subset_of_dead_class(self, masking):
+        for site in masking.directly_dead:
+            assert masking.sites[site] == CLASS_DEAD
+
+    def test_loop_program_all_sites_visible(self):
+        # Every write in the sum loop feeds the output or the branch.
+        masking = masking_for("""
+        main:
+            li   r1, 100
+            li   r2, 0
+        loop:
+            add  r2, r2, r1
+            subi r1, r1, 1
+            bnez r1, loop
+            putint r2
+            halt
+        """)
+        assert masking.sites_of(CLASS_DEAD) == []
+        assert masking.classify(0, 1) == CLASS_CONTROL
+        assert masking.classify(1, 2) == CLASS_LIVE

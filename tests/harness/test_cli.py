@@ -97,3 +97,60 @@ class TestCommands:
                      "--runs", "8"]) == 0
         out = capsys.readouterr().out
         assert "fault campaign" in out
+
+    def test_campaign_static_oracle(self, capsys):
+        assert main(["--scale", "1000", "campaign", "gcc",
+                     "--static-oracle", "--runs", "10", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "site campaign" in out
+        assert "oracle: 0 mismatches" in out
+
+    def test_campaign_skip_dead(self, capsys):
+        assert main(["--scale", "1000", "campaign", "gcc",
+                     "--skip-dead", "--runs", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "settled statically" in out
+
+    def test_campaign_sites_export(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "results")
+        assert main(["--scale", "1000", "campaign", "gcc", "--sites",
+                     "--runs", "6", "--export", out_dir]) == 0
+        out = capsys.readouterr().out
+        assert "wrote json" in out and "wrote csv" in out
+
+    def test_oracle_and_skip_dead_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "gcc", "--static-oracle", "--skip-dead"]
+            )
+
+    def test_analyze(self, capsys):
+        assert main(["--scale", "1000", "analyze", "gcc"]) == 0
+        out = capsys.readouterr().out
+        assert "static analysis" in out
+        assert "site class" in out
+
+    def test_analyze_all_covers_suite(self, capsys):
+        from repro.workloads.suite import BENCHMARK_ORDER, BENCHMARKS
+
+        assert main(["--scale", "1000", "analyze", "all"]) == 0
+        out = capsys.readouterr().out
+        for name in BENCHMARK_ORDER:
+            assert BENCHMARKS[name].build(scale=1000).name in out
+
+    def test_analyze_second_run_is_cached(self, capsys):
+        assert main(["--scale", "1000", "analyze", "go"]) == 0
+        capsys.readouterr()
+        assert main(["--scale", "1000", "analyze", "go"]) == 0
+        assert "(cached;" in capsys.readouterr().out
+
+    def test_lint_suite_is_clean(self, capsys):
+        assert main(["--scale", "1000", "lint", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "NOT CLEAN" not in out
+
+    def test_lint_verbose_shows_info(self, capsys):
+        assert main(["--scale", "1000", "lint", "gcc",
+                     "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "hidden" not in out

@@ -67,3 +67,75 @@ class TestFigureExport:
     def test_write_rejects_unknown_format(self, small_result, tmp_path):
         with pytest.raises(ValueError):
             write_figure(small_result, str(tmp_path), formats=("xml",))
+
+
+@pytest.fixture(scope="module")
+def site_result():
+    from repro.isa import assemble
+    from repro.harness.campaign import run_site_campaign
+
+    program = assemble("""
+    main:
+        li r9, 3
+        li r1, 5
+        putint r1
+        halt
+    """, name="tiny")
+    return run_site_campaign(program, runs=6, seed=0,
+                             use_analysis_cache=False)
+
+
+class TestAnalysisExport:
+    def test_dict_structure(self):
+        from repro.isa import assemble
+        from repro.analysis import analyze_program
+        from repro.harness.export import analysis_to_dict
+
+        program = assemble("""
+        main:
+            li r1, 2
+            putint r1
+            halt
+        """, name="tiny")
+        data = analysis_to_dict(analyze_program(program, use_cache=False))
+        assert data["program_name"] == "tiny"
+        assert data["clean"] is True
+        assert data["class_counts"]["live"] == 1
+        json.dumps(data)  # JSON-safe
+
+
+class TestSiteCampaignExport:
+    def test_dict_structure(self, site_result):
+        from repro.harness.export import site_campaign_to_dict
+
+        data = site_campaign_to_dict(site_result)
+        assert data["program"] == "tiny"
+        assert data["runs"] == 6
+        assert set(data["by_class"]) == {"dead", "live", "control"}
+        assert data["mismatches"] == []
+        json.dumps(data)
+
+    def test_csv_grid(self, site_result):
+        from repro.harness.export import site_campaign_to_csv
+
+        rows = list(csv.reader(io.StringIO(
+            site_campaign_to_csv(site_result)
+        )))
+        assert rows[0][:2] == ["class", "pool"]
+        assert [row[0] for row in rows[1:]] == ["dead", "live", "control"]
+        assert rows[0][-1] == "visible"
+
+    def test_write_site_campaign(self, site_result, tmp_path):
+        from repro.harness.export import write_site_campaign
+
+        written = write_site_campaign(site_result, str(tmp_path))
+        assert set(written) == {"json", "csv"}
+        assert (tmp_path / "sites_tiny.json").exists()
+        assert (tmp_path / "sites_tiny.csv").exists()
+
+    def test_write_rejects_unknown_format(self, site_result, tmp_path):
+        from repro.harness.export import write_site_campaign
+
+        with pytest.raises(ValueError):
+            write_site_campaign(site_result, str(tmp_path),
+                                formats=("xml",))

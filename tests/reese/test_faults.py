@@ -73,6 +73,29 @@ class TestScheduled:
         with pytest.raises(ValueError):
             ScheduledFaultModel([(0, 1, 64)])
 
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            ScheduledFaultModel([(10, -2, 1)])
+
+    def test_rejects_overlapping_windows(self):
+        # [10, 15) and [12, 15) overlap.
+        with pytest.raises(ValueError, match="overlap"):
+            ScheduledFaultModel([(10, 5, 1), (12, 3, 2)])
+
+    def test_rejects_overlap_regardless_of_input_order(self):
+        with pytest.raises(ValueError, match="overlap"):
+            ScheduledFaultModel([(20, 5, 1), (18, 4, 2)])
+
+    def test_touching_windows_are_legal(self):
+        # [10, 12) then [12, 14): adjacent but disjoint.
+        model = ScheduledFaultModel([(10, 2, 1), (12, 2, 2)])
+        assert model.fault_bit_at(11) == 1
+        assert model.fault_bit_at(12) == 2
+
+    def test_duplicate_start_overlaps(self):
+        with pytest.raises(ValueError, match="overlap"):
+            ScheduledFaultModel([(10, 1, 1), (10, 1, 2)])
+
 
 class TestEnvironmental:
     def test_deterministic_with_seed(self):

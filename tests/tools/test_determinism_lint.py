@@ -1,0 +1,165 @@
+"""Self-tests for tools/determinism_lint.py (the CI determinism gate)."""
+
+import importlib.util
+import pathlib
+import sys
+import textwrap
+
+import pytest
+
+_TOOL = (
+    pathlib.Path(__file__).resolve().parents[2]
+    / "tools" / "determinism_lint.py"
+)
+_spec = importlib.util.spec_from_file_location("determinism_lint", _TOOL)
+determinism_lint = importlib.util.module_from_spec(_spec)
+sys.modules["determinism_lint"] = determinism_lint
+_spec.loader.exec_module(determinism_lint)
+
+lint_source = determinism_lint.lint_source
+lint_paths = determinism_lint.lint_paths
+
+
+def findings_for(source):
+    return lint_source(textwrap.dedent(source), "mod.py")
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestUnseededRandom:
+    def test_flags_module_level_draws(self):
+        findings = findings_for("""
+            import random
+            x = random.random()
+            y = random.randrange(10)
+        """)
+        assert rules_of(findings) == ["unseeded-random", "unseeded-random"]
+
+    def test_allows_seeded_instances(self):
+        findings = findings_for("""
+            import random
+            rng = random.Random(42)
+            x = rng.random()
+            y = rng.randrange(10)
+        """)
+        assert findings == []
+
+    def test_flags_from_imports(self):
+        findings = findings_for("""
+            from random import randrange
+            x = randrange(10)
+        """)
+        assert rules_of(findings) == ["unseeded-random"]
+
+    def test_from_import_of_random_class_is_fine(self):
+        findings = findings_for("""
+            from random import Random
+            rng = Random(7)
+            x = rng.random()
+        """)
+        assert findings == []
+
+
+class TestWallClock:
+    def test_flags_time_time(self):
+        findings = findings_for("""
+            import time
+            t = time.time()
+        """)
+        assert rules_of(findings) == ["wall-clock"]
+
+    def test_flags_datetime_now_both_spellings(self):
+        findings = findings_for("""
+            import datetime
+            from datetime import datetime as dt
+            a = datetime.datetime.now()
+            b = dt.now()
+        """)
+        assert rules_of(findings) == ["wall-clock", "wall-clock"]
+
+    def test_allows_telemetry_clocks(self):
+        findings = findings_for("""
+            import time
+            a = time.perf_counter()
+            b = time.process_time()
+            c = time.monotonic()
+        """)
+        assert findings == []
+
+    def test_flags_from_import_time(self):
+        findings = findings_for("""
+            from time import time
+            t = time()
+        """)
+        assert rules_of(findings) == ["wall-clock"]
+
+
+class TestSetIteration:
+    def test_flags_for_over_set_call(self):
+        findings = findings_for("""
+            for x in set([3, 1, 2]):
+                print(x)
+        """)
+        assert rules_of(findings) == ["set-iteration"]
+
+    def test_flags_for_over_set_literal(self):
+        findings = findings_for("""
+            for x in {3, 1, 2}:
+                print(x)
+        """)
+        assert rules_of(findings) == ["set-iteration"]
+
+    def test_flags_comprehension_over_set_comp(self):
+        findings = findings_for("""
+            out = [x for x in {y for y in range(3)}]
+        """)
+        assert rules_of(findings) == ["set-iteration"]
+
+    def test_allows_sorted_sets(self):
+        findings = findings_for("""
+            for x in sorted(set([3, 1, 2])):
+                print(x)
+        """)
+        assert findings == []
+
+    def test_allows_set_membership(self):
+        findings = findings_for("""
+            table = set([1, 2])
+            hits = sum(1 for key in [1, 2, 3] if key in set(table))
+        """)
+        assert findings == []
+
+
+class TestRunner:
+    def test_findings_carry_position(self):
+        finding = findings_for("""
+            import time
+            t = time.time()
+        """)[0]
+        assert finding.path == "mod.py"
+        assert finding.line == 3
+        assert "wall clock" in finding.render()
+
+    def test_lint_paths_over_files(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        good = tmp_path / "good.py"
+        good.write_text("import random\nrng = random.Random(1)\n")
+        findings = lint_paths([tmp_path])
+        assert [f.path for f in findings] == [str(bad)]
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("VALUE = 3\n")
+        assert determinism_lint.main([str(clean)]) == 0
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nt = time.time()\n")
+        assert determinism_lint.main([str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "wall-clock" in out
+
+    def test_simulator_sources_are_clean(self):
+        src = _TOOL.parents[1] / "src" / "repro"
+        assert lint_paths([src]) == []

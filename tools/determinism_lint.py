@@ -1,0 +1,231 @@
+#!/usr/bin/env python
+"""Determinism lint: static checks over the simulator's own sources.
+
+The reproduction's core guarantee is that every simulation is a pure
+function of its inputs and seeds — the parallel runner's caching, the
+fault campaigns' worker-count invariance and the golden-run comparisons
+all assume it.  This tool walks ``src/repro/`` with :mod:`ast` and
+flags the three ways that guarantee quietly breaks:
+
+``unseeded-random``
+    a call through the module-level :mod:`random` API
+    (``random.random()``, ``random.randrange()``, ...) or a function
+    imported from it.  These draw from the process-global, unseeded
+    generator; simulation code must construct ``random.Random(seed)``
+    and draw from the instance.
+
+``wall-clock``
+    ``time.time()`` / ``time.time_ns()`` / ``datetime.now()`` /
+    ``utcnow()`` / ``today()`` — wall-clock reads that leak real time
+    into results.  ``time.perf_counter()``, ``process_time()`` and
+    ``monotonic()`` are allowed: they only ever feed telemetry
+    (elapsed-seconds reporting), never simulated state.
+
+``set-iteration``
+    a ``for`` loop or comprehension iterating directly over a set
+    literal, set comprehension or ``set(...)`` call.  Set iteration
+    order depends on string hash randomisation across processes, so
+    anything it feeds (``Stats`` dicts, trace output) diverges between
+    runs.  Iterate over ``sorted(...)`` instead.
+
+Usage::
+
+    python tools/determinism_lint.py [root ...]
+
+Defaults to ``src/repro``.  Exits non-zero when any finding exists.
+The checks are importable (``lint_source`` / ``lint_paths``) so the
+test suite can pin their behaviour.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+#: (module, attribute) calls that read the wall clock.
+WALL_CLOCK_CALLS = frozenset({
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+})
+
+#: time-module attributes that are fine (telemetry-only clocks).
+ALLOWED_CLOCKS = frozenset({
+    "perf_counter", "perf_counter_ns", "process_time", "process_time_ns",
+    "monotonic", "monotonic_ns", "sleep",
+})
+
+#: names importable from :mod:`time` that count as wall-clock reads.
+WALL_CLOCK_IMPORTS = frozenset({"time", "time_ns"})
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One determinism violation."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+def _attribute_chain(node: ast.AST) -> List[str]:
+    """``a.b.c`` -> ``["a", "b", "c"]`` (empty when not a pure chain)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return []
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    """True for a set literal, a set comprehension, or ``set(...)``."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "set"
+    )
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: List[Finding] = []
+        #: local aliases of banned functions, from ``from x import y``.
+        self._banned_names: dict = {}
+        #: local aliases of datetime/date classes (``now()`` etc. on
+        #: these is a wall-clock read).
+        self._datetime_aliases = {"datetime", "date"}
+
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            Finding(self.path, getattr(node, "lineno", 0), rule, message)
+        )
+
+    # -- imports: track `from random import randrange` style aliases ----
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name
+            if node.module == "random" and alias.name != "Random":
+                self._banned_names[local] = (
+                    "unseeded-random",
+                    f"'from random import {alias.name}' draws from the "
+                    f"process-global generator; use random.Random(seed)",
+                )
+            elif node.module == "time" and alias.name in WALL_CLOCK_IMPORTS:
+                self._banned_names[local] = (
+                    "wall-clock",
+                    f"'from time import {alias.name}' reads the wall "
+                    f"clock; use time.perf_counter() for telemetry",
+                )
+            elif node.module == "datetime" and alias.name in (
+                "datetime", "date"
+            ):
+                self._datetime_aliases.add(local)
+        self.generic_visit(node)
+
+    # -- calls: module-level random and wall clocks ----------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _attribute_chain(node.func)
+        if len(chain) >= 2:
+            base, attr = chain[-2], chain[-1]
+            if base == "random" and attr != "Random":
+                self._report(
+                    node, "unseeded-random",
+                    f"random.{attr}() draws from the process-global "
+                    f"generator; construct random.Random(seed) and draw "
+                    f"from the instance",
+                )
+            elif (base, attr) in WALL_CLOCK_CALLS or (
+                base in self._datetime_aliases
+                and attr in ("now", "utcnow", "today")
+            ):
+                self._report(
+                    node, "wall-clock",
+                    f"{base}.{attr}() reads the wall clock; results "
+                    f"must not depend on real time "
+                    f"(perf_counter/process_time are fine for telemetry)",
+                )
+        elif len(chain) == 1 and chain[0] in self._banned_names:
+            rule, message = self._banned_names[chain[0]]
+            self._report(node, rule, message)
+        self.generic_visit(node)
+
+    # -- iteration over sets ---------------------------------------------
+
+    def _check_iter(self, node: ast.AST, iter_node: ast.AST) -> None:
+        if _is_set_expression(iter_node):
+            self._report(
+                node, "set-iteration",
+                "iterating over a set: the order depends on hash "
+                "randomisation across processes; iterate over "
+                "sorted(...) instead",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node, node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iter(node, node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iter(node, node.iter)
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Lint one module's source text."""
+    visitor = _DeterminismVisitor(path)
+    visitor.visit(ast.parse(source, filename=path))
+    return sorted(
+        visitor.findings, key=lambda f: (f.path, f.line, f.rule)
+    )
+
+
+def lint_paths(roots: Sequence[pathlib.Path]) -> List[Finding]:
+    """Lint every ``*.py`` under the given files/directories."""
+    files: List[pathlib.Path] = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+        else:
+            files.append(root)
+    findings: List[Finding] = []
+    for path in files:
+        findings.extend(lint_source(path.read_text(), str(path)))
+    return findings
+
+
+def main(argv: Iterable[str] = ()) -> int:
+    roots = [pathlib.Path(arg) for arg in argv] or [
+        pathlib.Path("src/repro")
+    ]
+    findings = lint_paths(roots)
+    for finding in findings:
+        print(finding.render())
+    checked = ", ".join(str(root) for root in roots)
+    print(
+        f"determinism lint: {len(findings)} finding(s) over {checked}"
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
