@@ -17,13 +17,12 @@ rows/series are inspectable regardless of pytest's capture settings.
 
 from __future__ import annotations
 
-import os
 import pathlib
 from typing import Dict
 
 import pytest
 
-from repro.harness import FIGURES, run_figure
+from repro.harness import FIGURES, env_flag, env_int, run_figure
 from repro.harness.experiments import FigureResult, figure7_specs
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -32,16 +31,23 @@ _figure_cache: Dict[str, FigureResult] = {}
 
 
 def bench_jobs() -> int:
-    """Worker count for bench figure runs (``REPRO_BENCH_JOBS``)."""
-    try:
-        return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
-    except ValueError:
-        return 1
+    """Worker count for bench figure runs (``REPRO_BENCH_JOBS``).
+
+    A malformed value (``"four"``, ``"-2"``) warns and falls back to
+    the sequential default instead of being silently swallowed.
+    """
+    return env_int("REPRO_BENCH_JOBS", 1)
 
 
 def bench_cache() -> bool:
-    """Whether bench runs use the on-disk cache (``REPRO_BENCH_CACHE=1``)."""
-    return os.environ.get("REPRO_BENCH_CACHE", "") == "1"
+    """Whether bench runs use the on-disk cache (``REPRO_BENCH_CACHE``).
+
+    Accepts the same boolean spellings as every other harness flag
+    (``1/0``, ``true/false``, ``yes/no``, ``on/off``); a malformed
+    value warns and reads as disabled rather than silently disagreeing
+    with how the harness treats the variable elsewhere.
+    """
+    return env_flag("REPRO_BENCH_CACHE", False)
 
 
 def get_figure(figure_id: str) -> FigureResult:

@@ -22,6 +22,7 @@ models, so relative comparisons are unaffected.  See DESIGN.md §5.
 from __future__ import annotations
 
 import abc
+import copy
 
 
 class DirectionPredictor(abc.ABC):
@@ -30,6 +31,21 @@ class DirectionPredictor(abc.ABC):
     def __init__(self) -> None:
         self.lookups = 0
         self.correct = 0
+
+    def clone_state(self) -> "DirectionPredictor":
+        """An independent copy of tables, history and accuracy counters.
+
+        Every concrete predictor keeps its state in scalars and flat
+        lists of ints, so a shallow copy with list re-copies is a full
+        snapshot; predictors holding sub-predictors (the combining
+        predictor) override this.  Used by the sampled-simulation
+        engine to snapshot warm state at interval boundaries.
+        """
+        clone = copy.copy(self)
+        for name, value in vars(self).items():
+            if isinstance(value, list):
+                setattr(clone, name, list(value))
+        return clone
 
     @abc.abstractmethod
     def predict(self, pc: int) -> bool:

@@ -43,6 +43,17 @@ class BTB:
         self._tags[slot] = pc >> self._pc_shift
         self._targets[slot] = target_index
 
+    def clone_state(self) -> "BTB":
+        """An independent copy of entries and stats (cheap snapshot)."""
+        clone = BTB.__new__(BTB)
+        clone.entries = self.entries
+        clone._tags = list(self._tags)
+        clone._targets = list(self._targets)
+        clone._pc_shift = self._pc_shift
+        clone.hits = self.hits
+        clone.misses = self.misses
+        return clone
+
 
 class ReturnAddressStack:
     """A bounded return-address stack predicting ``ret`` targets."""
@@ -73,3 +84,13 @@ class ReturnAddressStack:
 
     def __len__(self) -> int:
         return len(self._stack)
+
+    def clone_state(self) -> "ReturnAddressStack":
+        """An independent copy of the stack and stats (cheap snapshot)."""
+        clone = ReturnAddressStack.__new__(ReturnAddressStack)
+        clone.depth = self.depth
+        clone._stack = list(self._stack)
+        clone.pushes = self.pushes
+        clone.pops = self.pops
+        clone.overflows = self.overflows
+        return clone

@@ -41,6 +41,12 @@ class CombiningPredictor(DirectionPredictor):
             return self.gshare.predict(pc)
         return self.bimodal.predict(pc)
 
+    def clone_state(self) -> "CombiningPredictor":
+        clone = super().clone_state()
+        clone.bimodal = self.bimodal.clone_state()
+        clone.gshare = self.gshare.clone_state()
+        return clone
+
     def update(self, pc: int, taken: bool) -> None:
         bimodal_pred = self.bimodal.predict(pc)
         gshare_pred = self.gshare.predict(pc)

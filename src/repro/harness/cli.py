@@ -23,6 +23,13 @@ environment variable.  ``--jobs N`` fans the experiment grid over N
 worker processes (default: all cores) and ``--no-cache`` disables the
 on-disk result cache under ``.repro_cache/``.
 
+Sampled simulation (see docs/INTERNALS.md §10): ``--sample N`` runs
+every simulation as N detailed measurement intervals with functional
+fast-forward between them — the same figures/sweeps/checks at a
+fraction of the wall-clock, with a confidence interval on each IPC.
+``--sample-interval K`` and ``--sample-warmup W`` tune the interval
+length and per-interval detailed warm-up.
+
 Observability (see docs/INTERNALS.md §8): ``--observe`` collects
 per-stage metrics (occupancy histograms, stall reasons, P/R functional
 unit split) and prints them after single-run commands;
@@ -43,6 +50,7 @@ from typing import List, Optional
 from ..reese.faults import EnvironmentalFaultModel
 from ..uarch.config import starting_config
 from ..uarch.observe import ObserveConfig
+from ..uarch.sampling import SamplingSpec
 from ..workloads.suite import BENCHMARK_ORDER, BENCHMARKS
 from . import expectations, experiments, reporting
 from .parallel import ParallelRunner
@@ -56,6 +64,17 @@ def _runner_from(args) -> ParallelRunner:
         use_cache=not args.no_cache,
         observe=args.observe,
         check_invariants=args.check_invariants,
+    )
+
+
+def _sampling_from(args) -> Optional[SamplingSpec]:
+    """The SamplingSpec the ``--sample*`` flags describe (or ``None``)."""
+    if not getattr(args, "sample", None):
+        return None
+    return SamplingSpec(
+        intervals=args.sample,
+        interval_length=args.sample_interval,
+        warmup=args.sample_warmup,
     )
 
 
@@ -106,7 +125,8 @@ def _cmd_list(_args) -> int:
 def _cmd_figure(args) -> int:
     runner = _runner_from(args)
     spec = experiments.FIGURES[args.figure]()
-    result = experiments.run_figure(spec, scale=args.scale, runner=runner)
+    result = experiments.run_figure(spec, scale=args.scale, runner=runner,
+                                    sampling=_sampling_from(args))
     print(reporting.figure_report(result))
     _emit_telemetry(runner)
     return 0
@@ -114,7 +134,8 @@ def _cmd_figure(args) -> int:
 
 def _cmd_summary(args) -> int:
     runner = _runner_from(args)
-    summary = experiments.run_summary_figure(scale=args.scale, runner=runner)
+    summary = experiments.run_summary_figure(scale=args.scale, runner=runner,
+                                             sampling=_sampling_from(args))
     print("fig6: summary of results (average IPC per hardware variation)")
     print(reporting.summary_report(summary))
     _emit_telemetry(runner)
@@ -124,7 +145,8 @@ def _cmd_summary(args) -> int:
 def _cmd_fig7(args) -> int:
     runner = _runner_from(args)
     for spec in experiments.figure7_specs():
-        result = experiments.run_figure(spec, scale=args.scale, runner=runner)
+        result = experiments.run_figure(spec, scale=args.scale, runner=runner,
+                                        sampling=_sampling_from(args))
         print(reporting.figure_report(result))
         print()
         _emit_telemetry(runner)
@@ -133,15 +155,16 @@ def _cmd_fig7(args) -> int:
 
 def _cmd_check(args) -> int:
     runner = _runner_from(args)
+    sampling = _sampling_from(args)
     fig_results = {}
     for name in ("fig2", "fig3"):
         spec = experiments.FIGURES[name]()
         fig_results[name] = experiments.run_figure(
-            spec, scale=args.scale, runner=runner
+            spec, scale=args.scale, runner=runner, sampling=sampling
         )
     for spec in experiments.figure7_specs():
         fig_results[spec.figure_id] = experiments.run_figure(
-            spec, scale=args.scale, runner=runner
+            spec, scale=args.scale, runner=runner, sampling=sampling
         )
     checks = expectations.check_all(fig_results)
     failed = 0
@@ -152,7 +175,32 @@ def _cmd_check(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_bench_sampled(args, sampling: SamplingSpec) -> int:
+    """``bench`` under ``--sample``: interval fan-out via the runner."""
+    from .parallel import SimJob, run_sampled_jobs
+
+    runner = _runner_from(args)
+    config = starting_config()
+    scale = args.scale or bench_scale()
+    base, reese = run_sampled_jobs(
+        [
+            SimJob(args.benchmark, config, scale, sampling=sampling),
+            SimJob(args.benchmark, config.with_reese(), scale,
+                   sampling=sampling),
+        ],
+        runner,
+    )
+    print(f"{args.benchmark}: baseline {base.summary()}")
+    print(f"{args.benchmark}: reese    {reese.summary()}")
+    print(f"IPC ratio reese/baseline = {reese.ipc / base.ipc:.3f}")
+    _emit_telemetry(runner)
+    return 0
+
+
 def _cmd_bench(args) -> int:
+    sampling = _sampling_from(args)
+    if sampling is not None:
+        return _cmd_bench_sampled(args, sampling)
     config = starting_config()
     base = run_benchmark(args.benchmark, config, scale=args.scale,
                          observe=_observe_from(args, "baseline"))
@@ -169,6 +217,32 @@ def _cmd_bench(args) -> int:
 
 def _cmd_faults(args) -> int:
     config = starting_config().with_reese()
+    sampling = _sampling_from(args)
+    if sampling is not None:
+        from .parallel import FaultSpec, interval_fault_spec
+        from .runner import run_sampled_benchmark
+
+        spec = FaultSpec.make("environmental", rate=args.rate,
+                              duration=args.duration, seed=args.seed)
+        models = []
+
+        def factory(index: int):
+            model = interval_fault_spec(spec, index).build()
+            models.append(model)
+            return model
+
+        result = run_sampled_benchmark(
+            args.benchmark, config, sampling,
+            scale=args.scale, fault_factory=factory,
+        )
+        stats = result.stats
+        print(f"workload:            {args.benchmark} ({result.summary()})")
+        print(f"fault events struck: {sum(m.strikes for m in models)}")
+        print(f"errors detected:     {stats.errors_detected}")
+        print(f"escapes (same event):{stats.errors_undetected_same_event}")
+        print(f"recoveries:          {stats.recoveries}")
+        print(f"final IPC:           {result.ipc:.3f}")
+        return 0
     model = EnvironmentalFaultModel(
         rate=args.rate, duration=args.duration, seed=args.seed
     )
@@ -190,7 +264,8 @@ def _cmd_export(args) -> int:
 
     runner = _runner_from(args)
     spec = experiments.FIGURES[args.figure]()
-    result = experiments.run_figure(spec, scale=args.scale, runner=runner)
+    result = experiments.run_figure(spec, scale=args.scale, runner=runner,
+                                    sampling=_sampling_from(args))
     written = export.write_figure(result, args.out)
     for fmt, path in written.items():
         print(f"wrote {fmt}: {path}")
@@ -265,7 +340,8 @@ def _cmd_sweep(args) -> int:
     base = starting_config()
     points = spare_capacity_grid(base, max_alu=args.max_alu,
                                  max_mult=args.max_mult)
-    results = run_sweep(points, scale=args.scale, runner=runner)
+    results = run_sweep(points, scale=args.scale, runner=runner,
+                        sampling=_sampling_from(args))
     baseline_ipc = results[0].average_ipc
     rows = [["configuration", "avg IPC", "gap vs baseline"]]
     for point in results:
@@ -321,6 +397,32 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="no_cache",
         help="disable the on-disk result cache (.repro_cache/)",
+    )
+    parser.add_argument(
+        "--sample",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sampled simulation with N measurement intervals per run "
+             "(default: full detailed runs)",
+    )
+    parser.add_argument(
+        "--sample-interval",
+        type=int,
+        default=300,
+        dest="sample_interval",
+        metavar="K",
+        help="measured instructions per interval (with --sample; "
+             "default 300)",
+    )
+    parser.add_argument(
+        "--sample-warmup",
+        type=int,
+        default=50,
+        dest="sample_warmup",
+        metavar="W",
+        help="detailed warm-up instructions before each interval "
+             "(with --sample; default 50)",
     )
     parser.add_argument(
         "--observe",

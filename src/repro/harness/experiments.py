@@ -35,9 +35,9 @@ from ..uarch.config import (
     starting_config,
     wide_datapath_config,
 )
-from ..uarch.stats import Stats
+from ..uarch.sampling import SamplingSpec
 from ..workloads.suite import BENCHMARK_ORDER
-from .parallel import ParallelRunner, SimJob, resolve_runner
+from .parallel import ParallelRunner, SimJob, resolve_runner, run_sampled_jobs
 from .runner import bench_scale
 
 #: The paper's series labels, in presentation order.
@@ -93,8 +93,10 @@ class FigureResult:
 
     spec: FigureSpec
     scale: int
-    #: benchmark -> series label -> Stats
-    cells: Dict[str, Dict[str, Stats]] = field(default_factory=dict)
+    #: benchmark -> series label -> Stats (full runs) or
+    #: :class:`~repro.uarch.sampling.SampledResult` (sampled runs);
+    #: both expose the ``.ipc`` this class reads.
+    cells: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     def ipc(self, benchmark: str, label: str) -> float:
         return self.cells[benchmark][label].ipc
@@ -218,21 +220,31 @@ def run_figure(
     cache: bool = False,
     cache_dir: Optional[os.PathLike] = None,
     runner: Optional[ParallelRunner] = None,
+    sampling: Optional[SamplingSpec] = None,
 ) -> FigureResult:
     """Execute every (benchmark, series) cell of a figure.
 
     Cells fan out over :class:`~repro.harness.parallel.ParallelRunner`;
     the benchmark-major job order keeps consecutive jobs on the same
     trace so pool chunking preserves per-worker trace reuse.
+
+    With ``sampling`` set, every cell runs the sampled engine instead
+    of a full detailed simulation: cells hold
+    :class:`~repro.uarch.sampling.SampledResult` values and the fan-out
+    happens at measurement-interval granularity (every interval of
+    every cell shares one job batch).
     """
     scale = scale or bench_scale()
     runner = resolve_runner(runner, jobs, cache, cache_dir)
     sim_jobs = [
-        SimJob(bench, config, scale, seed=seed)
+        SimJob(bench, config, scale, seed=seed, sampling=sampling)
         for bench in spec.benchmarks
         for _, config in spec.series
     ]
-    all_stats = runner.run(sim_jobs)
+    if sampling is not None:
+        all_stats: List[object] = list(run_sampled_jobs(sim_jobs, runner))
+    else:
+        all_stats = list(runner.run(sim_jobs))
     result = FigureResult(spec, scale)
     cursor = 0
     for bench in spec.benchmarks:
@@ -249,8 +261,13 @@ def run_summary_figure(
     cache: bool = False,
     cache_dir: Optional[os.PathLike] = None,
     runner: Optional[ParallelRunner] = None,
+    sampling: Optional[SamplingSpec] = None,
 ) -> Dict[str, Dict[str, float]]:
-    """Fig. 6: average IPC per hardware variation per series."""
+    """Fig. 6: average IPC per hardware variation per series.
+
+    With ``sampling`` set, every cell uses the sampled engine's IPC
+    estimate instead of a full detailed run.
+    """
     scale = scale or bench_scale()
     runner = resolve_runner(runner, jobs, cache, cache_dir)
     grid: List[Tuple[str, str]] = []
@@ -262,8 +279,12 @@ def run_summary_figure(
         ):
             for bench in BENCHMARK_ORDER:
                 grid.append((variation, label))
-                sim_jobs.append(SimJob(bench, config, scale))
-    all_stats = runner.run(sim_jobs)
+                sim_jobs.append(SimJob(bench, config, scale,
+                                       sampling=sampling))
+    if sampling is not None:
+        all_stats: Sequence[object] = run_sampled_jobs(sim_jobs, runner)
+    else:
+        all_stats = runner.run(sim_jobs)
     sums: Dict[Tuple[str, str], float] = {}
     for (variation, label), stats in zip(grid, all_stats):
         sums[(variation, label)] = sums.get((variation, label), 0.0) + stats.ipc

@@ -26,13 +26,31 @@ import pathlib
 from typing import Any, Dict
 
 from ..analysis import AnalysisResult, CLASSES
+from ..uarch.sampling import SampledResult
 from ..uarch.stats import Stats
 from .campaign import OUTCOMES, SiteCampaignResult
 from .experiments import FigureResult, SERIES_BASELINE
 
 
 def stats_to_dict(stats: Stats) -> Dict[str, Any]:
-    """A JSON-safe dict of one run's statistics."""
+    """A JSON-safe dict of one run's statistics.
+
+    Accepts a :class:`~repro.uarch.sampling.SampledResult` too (cells
+    of sampled figures): the merged interval counters are exported with
+    ``ipc`` replaced by the sampled estimate, plus a ``sampled`` block
+    recording how the estimate was produced.
+    """
+    if isinstance(stats, SampledResult):
+        out = stats_to_dict(stats.stats)
+        out["ipc"] = stats.ipc
+        out["sampled"] = {
+            "intervals": len(stats.intervals),
+            "interval_length": stats.spec.interval_length,
+            "total_instructions": stats.total_instructions,
+            "detail_fraction": stats.detail_fraction,
+            "ipc_ci": stats.ipc_ci,
+        }
+        return out
     out = stats.to_dict()
     # Everything is already int/float/bool/str/dict; make sure of it.
     for key, value in list(out.items()):

@@ -21,6 +21,14 @@ is the single execution layer they all route through:
   determined by its own fields — nothing is sampled from shared state.
 * :class:`RunTelemetry` records per-job timing/outcome for
   :func:`repro.harness.reporting.telemetry_report`.
+* Sampled simulation (:mod:`repro.uarch.sampling`) plugs in at two
+  granularities.  A :class:`SimJob` whose ``sampling`` spec names a
+  single interval (``spec.index`` set) simulates just that measurement
+  window — a self-contained, cacheable unit.  :func:`run_sampled_jobs`
+  expands whole sampled jobs into those interval jobs, runs them all in
+  one flat batch (so every interval of every cell shares the pool), and
+  merges each job's interval Stats back into a
+  :class:`~repro.uarch.sampling.SampledResult`.
 
 Worker lifecycle: each worker process keeps its own module-level
 memoised trace cache (:func:`repro.workloads.suite.trace_for`), so a
@@ -52,15 +60,26 @@ from ..reese.faults import (
     ScheduledFaultModel,
 )
 from ..uarch.config import MachineConfig
-from ..uarch.observe import ObserveConfig
+from ..uarch.observe import ObserveConfig, build_observability
+from ..uarch.sampling import (
+    SampledResult,
+    SamplingSpec,
+    mispredict_profile,
+    run_interval,
+    run_sampled,
+    select_intervals,
+)
 from ..uarch.stats import Stats
 from ..workloads.suite import BENCHMARKS
-from .runner import run_model
+from .runner import _env_observe, run_model
 
 #: Bump to invalidate every on-disk cache entry after a model change.
 #: v2: Stats gained ``stage_metrics`` and jobs gained observability
 #: fields that change the payload (observed runs populate the registry).
-CACHE_VERSION = 2
+#: v3: jobs gained the ``sampling`` spec (every field of which changes
+#: which instructions are simulated), so sampled and full runs — and
+#: sampled runs with different specs — never share an entry.
+CACHE_VERSION = 3
 
 #: Default on-disk cache location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -120,6 +139,16 @@ class SimJob:
     #: files are a side effect the result cache cannot replay, so jobs
     #: with a trace path always simulate (no cache read).
     trace_path: Optional[str] = None
+    #: Sampled simulation (``None`` = full detailed run).  With
+    #: ``sampling.index`` set the job simulates that one measurement
+    #: interval; with ``index=None`` it runs the whole sampled
+    #: simulation in process and returns the merged interval Stats
+    #: (use :func:`run_sampled_jobs` to fan intervals over workers and
+    #: keep the :class:`~repro.uarch.sampling.SampledResult` estimate).
+    #: Observability attaches to interval jobs only — a whole-run
+    #: sampled job spawns one pipeline per interval, which the
+    #: single-observer plumbing does not model.
+    sampling: Optional[SamplingSpec] = None
 
     def resolved_seed(self) -> int:
         """The seed actually used (``None`` means the workload default)."""
@@ -165,6 +194,9 @@ def job_fingerprint(job: SimJob) -> str:
         # trace path is a pure side-effect destination and is excluded.
         "observe": job.observe,
         "check_invariants": job.check_invariants,
+        "sampling": (
+            dataclasses.asdict(job.sampling) if job.sampling else None
+        ),
     }
     blob = json.dumps(payload, sort_keys=True, default=repr).encode()
     return hashlib.sha256(blob).hexdigest()
@@ -273,13 +305,53 @@ def _mp_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context()
 
 
+def interval_fault_spec(fault: FaultSpec, index: int) -> FaultSpec:
+    """The per-interval FaultSpec of a sampled fault-injection job.
+
+    Fault models carry live RNG streams, so each measurement interval
+    gets its own model seeded from ``(base seed, interval index)`` —
+    a function of the interval's identity alone, which keeps interval
+    jobs order-independent across workers and makes the in-process and
+    fanned-out sampled paths draw identical fault sequences.  Specs
+    without a ``seed`` parameter (e.g. ``scheduled``) pass through
+    unchanged; their cycle offsets are relative to each interval's run.
+    """
+    params = dict(fault.params)
+    if "seed" in params:
+        params["seed"] = derive_seed(params["seed"], "interval", index)
+    return FaultSpec.make(fault.kind, **params)
+
+
+def _execute_sampled(job: SimJob, program, trace, observe) -> Stats:
+    """Sampled branch of :func:`_execute_job` (spec index decides shape)."""
+    spec = job.sampling
+    if spec.index is not None:
+        fault = job.fault.build() if job.fault else None
+        if observe is None:
+            observe = _env_observe(fault)
+        return run_interval(
+            program, trace, job.config, spec, spec.index,
+            fault_model=fault, warm=job.warm,
+            observer=build_observability(observe),
+        )
+    factory = None
+    if job.fault is not None:
+        base = job.fault
+
+        def factory(index: int):
+            return interval_fault_spec(base, index).build()
+
+    result = run_sampled(program, trace, job.config, spec,
+                         fault_factory=factory, warm=job.warm)
+    return result.stats
+
+
 def _execute_job(job: SimJob) -> Tuple[Stats, float, int]:
     """Worker entry point: simulate one job, report timing and pid."""
     from ..workloads.suite import trace_for
 
     start = time.perf_counter()
     program, trace = trace_for(job.benchmark, job.scale, job.seed)
-    fault = job.fault.build() if job.fault else None
     observe = None
     if job.observe or job.check_invariants or job.trace_path:
         observe = ObserveConfig(
@@ -287,8 +359,12 @@ def _execute_job(job: SimJob) -> Tuple[Stats, float, int]:
             check_invariants=job.check_invariants,
             trace_path=job.trace_path,
         )
-    stats = run_model(program, trace, job.config, fault_model=fault,
-                      warm=job.warm, observe=observe)
+    if job.sampling is not None:
+        stats = _execute_sampled(job, program, trace, observe)
+    else:
+        fault = job.fault.build() if job.fault else None
+        stats = run_model(program, trace, job.config, fault_model=fault,
+                          warm=job.warm, observe=observe)
     return stats, time.perf_counter() - start, os.getpid()
 
 
@@ -423,3 +499,78 @@ def resolve_runner(
         return runner
     return ParallelRunner(jobs=jobs or 1, use_cache=cache,
                           cache_dir=cache_dir)
+
+
+def expand_sampled_job(
+    job: SimJob,
+) -> Tuple[List[SimJob], int, Optional[List[int]]]:
+    """Interval-level SimJobs for one sampled job, plus its merge inputs.
+
+    Returns ``(interval_jobs, trace_length, profile)`` where
+    ``interval_jobs[i]`` simulates measurement interval ``i`` (its spec
+    carries ``index=i`` and, for injected jobs, a per-interval derived
+    fault seed) and ``profile`` is the mispredict prefix-sum list for
+    ``"profile"`` placement (``None`` otherwise).  The trace length is
+    returned because interval counts depend on it, and it is a property
+    of the generated workload, not of ``scale`` (traces stop at program
+    halt or continue past ``scale`` to a clean boundary).
+
+    Trace-path side effects are dropped from interval jobs: one JSONL
+    destination cannot serve k concurrent pipelines.
+    """
+    from ..workloads.suite import trace_for
+
+    spec = job.sampling
+    if spec is None:
+        raise ValueError("expand_sampled_job needs a job with a sampling spec")
+    if spec.index is not None:
+        raise ValueError("job is already a single-interval job "
+                         f"(index={spec.index})")
+    program, trace = trace_for(job.benchmark, job.scale, job.seed)
+    profile = None
+    if spec.placement == "profile":
+        profile = mispredict_profile(program, trace, job.config)
+    bounds = select_intervals(len(trace), spec, profile)
+    interval_jobs = []
+    for index in range(len(bounds)):
+        fault = interval_fault_spec(job.fault, index) if job.fault else None
+        interval_jobs.append(
+            dataclasses.replace(
+                job,
+                sampling=dataclasses.replace(spec, index=index),
+                fault=fault,
+                trace_path=None,
+            )
+        )
+    return interval_jobs, len(trace), profile
+
+
+def run_sampled_jobs(
+    sim_jobs: Sequence[SimJob],
+    runner: ParallelRunner,
+) -> List[SampledResult]:
+    """Run sampled jobs with interval-level parallelism.
+
+    Expands every job into its per-interval SimJobs, executes them all
+    as one flat batch — so the pool load-balances across intervals of
+    *all* cells, not one cell at a time — and merges each job's
+    interval Stats into a :class:`~repro.uarch.sampling.SampledResult`
+    (point estimate plus confidence interval).  Interval jobs are
+    cached individually, so re-running with a different grouping, job
+    order or worker count is a pure cache hit, and results are
+    bit-identical to :func:`~repro.uarch.sampling.run_sampled` in
+    process.
+    """
+    expanded = [expand_sampled_job(job) for job in sim_jobs]
+    flat = [ij for interval_jobs, _, _ in expanded for ij in interval_jobs]
+    all_stats = runner.run(flat)
+    results: List[SampledResult] = []
+    cursor = 0
+    for job, (interval_jobs, total, profile) in zip(sim_jobs, expanded):
+        chunk = all_stats[cursor:cursor + len(interval_jobs)]
+        cursor += len(interval_jobs)
+        spec = dataclasses.replace(job.sampling, index=None)
+        results.append(
+            SampledResult.from_interval_stats(spec, total, chunk, profile)
+        )
+    return results

@@ -32,6 +32,68 @@ from ..uarch.stats import Stats
 from ..workloads.suite import DEFAULT_SCALE, trace_for
 
 
+def env_int(name: str, default: int, minimum: int = 1) -> int:
+    """Integer environment knob with warn-and-default error handling.
+
+    An unset or empty variable silently yields ``default``; a malformed
+    value (``"2e4"``, ``"20k"``) or one below ``minimum`` warns and
+    yields ``default`` instead of crashing — or worse, silently running
+    every experiment with the wrong knob.  The shared parser behind
+    ``REPRO_BENCH_INSTRUCTIONS``, ``REPRO_BENCH_JOBS`` and friends.
+    """
+    value = os.environ.get(name, "")
+    if not value:
+        return default
+    try:
+        parsed = int(value)
+    except ValueError:
+        warnings.warn(
+            f"ignoring malformed {name}={value!r} "
+            f"(expected a positive integer); using {default}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return default
+    if parsed < minimum:
+        qualifier = "not positive" if minimum == 1 else f"below {minimum}"
+        warnings.warn(
+            f"{name}={value!r} is {qualifier}; using {default}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return default
+    return parsed
+
+
+#: Spellings accepted by :func:`env_flag` (case-insensitive).
+_FLAG_TRUE = frozenset(("1", "true", "yes", "on"))
+_FLAG_FALSE = frozenset(("0", "false", "no", "off", ""))
+
+
+def env_flag(name: str, default: bool = False) -> bool:
+    """Boolean environment knob with warn-and-default error handling.
+
+    Accepts the usual spellings (``1/0``, ``true/false``, ``yes/no``,
+    ``on/off``, any case); an empty set-but-blank variable reads as
+    false; anything else warns and yields ``default``.
+    """
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    norm = value.strip().lower()
+    if norm in _FLAG_TRUE:
+        return True
+    if norm in _FLAG_FALSE:
+        return False
+    warnings.warn(
+        f"ignoring malformed {name}={value!r} "
+        f"(expected a boolean like 1/0/true/false); using {default}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return default
+
+
 def bench_scale() -> int:
     """Dynamic instructions per benchmark (env-overridable).
 
@@ -41,28 +103,7 @@ def bench_scale() -> int:
     ``"2e4"``, ``"20k"``, ``"-5"``) warns and falls back to the default
     instead of silently running every experiment at the wrong scale.
     """
-    value = os.environ.get("REPRO_BENCH_INSTRUCTIONS", "")
-    if not value:
-        return DEFAULT_SCALE
-    try:
-        parsed = int(value)
-    except ValueError:
-        warnings.warn(
-            f"ignoring malformed REPRO_BENCH_INSTRUCTIONS={value!r} "
-            f"(expected a positive integer); using {DEFAULT_SCALE}",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        return DEFAULT_SCALE
-    if parsed <= 0:
-        warnings.warn(
-            f"REPRO_BENCH_INSTRUCTIONS={value!r} is not positive; "
-            f"using {DEFAULT_SCALE}",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        return DEFAULT_SCALE
-    return parsed
+    return env_int("REPRO_BENCH_INSTRUCTIONS", DEFAULT_SCALE)
 
 
 def _env_observe(fault_model: Optional[FaultModel]) -> Optional[ObserveConfig]:
@@ -126,3 +167,26 @@ def run_benchmark(
     program, trace = trace_for(name, scale or bench_scale(), seed)
     return run_model(program, trace, config, fault_model=fault_model,
                      warm=warm, observe=observe)
+
+
+def run_sampled_benchmark(
+    name: str,
+    config: MachineConfig,
+    sampling: "SamplingSpec",
+    scale: Optional[int] = None,
+    seed: Optional[int] = None,
+    fault_factory=None,
+    warm: bool = True,
+) -> "SampledResult":
+    """Sampled simulation of one named benchmark (in process).
+
+    The convenience single-workload entry point mirroring
+    :func:`run_benchmark`; experiment drivers that want interval-level
+    parallelism should go through
+    :func:`repro.harness.parallel.run_sampled_jobs` instead.
+    """
+    from ..uarch.sampling import run_sampled
+
+    program, trace = trace_for(name, scale or bench_scale(), seed)
+    return run_sampled(program, trace, config, sampling,
+                       fault_factory=fault_factory, warm=warm)

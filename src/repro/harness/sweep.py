@@ -13,15 +13,22 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..uarch.config import MachineConfig
+from ..uarch.sampling import SamplingSpec
 from ..uarch.stats import Stats
 from ..workloads.suite import BENCHMARK_ORDER
-from .parallel import ParallelRunner, SimJob, resolve_runner
+from .parallel import ParallelRunner, SimJob, resolve_runner, run_sampled_jobs
 from .runner import bench_scale
 
 
 @dataclass
 class SweepPoint:
-    """One grid point: a label, its config, and per-benchmark stats."""
+    """One grid point: a label, its config, and per-benchmark stats.
+
+    ``stats`` values are :class:`~repro.uarch.stats.Stats` for full
+    runs or :class:`~repro.uarch.sampling.SampledResult` for sampled
+    sweeps; both expose ``.ipc`` (use a sampled result's ``.stats`` for
+    raw counters in :meth:`average` metrics).
+    """
 
     label: str
     config: MachineConfig
@@ -45,6 +52,7 @@ def run_sweep(
     cache: bool = False,
     cache_dir: Optional[os.PathLike] = None,
     runner: Optional[ParallelRunner] = None,
+    sampling: Optional[SamplingSpec] = None,
 ) -> List[SweepPoint]:
     """Run a list of (label, config) pairs over the benchmark suite.
 
@@ -52,17 +60,22 @@ def run_sweep(
     :class:`~repro.harness.parallel.ParallelRunner`; results are
     bit-identical for any ``jobs`` value.  ``jobs=None`` runs
     sequentially; pass ``runner`` to share a cache/telemetry context
-    across several drivers.
+    across several drivers.  With ``sampling`` set, every grid cell
+    uses the sampled engine (interval-level fan-out) and ``stats``
+    holds :class:`~repro.uarch.sampling.SampledResult` values.
     """
     benchmarks = list(benchmarks or BENCHMARK_ORDER)
     scale = scale or bench_scale()
     runner = resolve_runner(runner, jobs, cache, cache_dir)
     sim_jobs = [
-        SimJob(bench, config, scale)
+        SimJob(bench, config, scale, sampling=sampling)
         for _, config in points
         for bench in benchmarks
     ]
-    all_stats = runner.run(sim_jobs)
+    if sampling is not None:
+        all_stats: Sequence = run_sampled_jobs(sim_jobs, runner)
+    else:
+        all_stats = runner.run(sim_jobs)
     results: List[SweepPoint] = []
     cursor = 0
     for label, config in points:

@@ -57,17 +57,16 @@ class CacheParams:
         return self.size // (self.assoc * self.line_size)
 
 
-class _Line:
-    __slots__ = ("tag", "valid", "dirty")
-
-    def __init__(self) -> None:
-        self.tag = -1
-        self.valid = False
-        self.dirty = False
-
-
 class Cache:
-    """One level of a blocking cache hierarchy."""
+    """One level of a blocking cache hierarchy.
+
+    Line state lives in three flat parallel lists (``_tags``,
+    ``_valid``, ``_dirty``) indexed by ``set_index * assoc + way``
+    rather than per-line objects: the sampled-simulation engine
+    snapshots whole hierarchies at every measurement interval, and
+    ``list(...)`` copies of flat arrays are an order of magnitude
+    cheaper than rebuilding ~10k line objects.
+    """
 
     def __init__(
         self,
@@ -91,9 +90,11 @@ class Cache:
         self._rng = random.Random(seed)
         self._line_shift = params.line_size.bit_length() - 1
         self._set_mask = params.n_sets - 1
-        self._sets: List[List[_Line]] = [
-            [_Line() for _ in range(params.assoc)] for _ in range(params.n_sets)
-        ]
+        self._assoc = params.assoc
+        n_lines = params.n_sets * params.assoc
+        self._tags: List[int] = [-1] * n_lines
+        self._valid: List[bool] = [False] * n_lines
+        self._dirty: List[bool] = [False] * n_lines
         # Per-set replacement order: way indices, index 0 = next victim.
         self._order: List[List[int]] = [
             list(range(params.assoc)) for _ in range(params.n_sets)
@@ -112,14 +113,17 @@ class Cache:
         block = addr >> self._line_shift
         set_index = block & self._set_mask
         tag = block >> (self._set_mask.bit_length())
-        lines = self._sets[set_index]
+        base = set_index * self._assoc
+        tags = self._tags
+        valid = self._valid
         order = self._order[set_index]
 
-        for way, line in enumerate(lines):
-            if line.valid and line.tag == tag:
+        for way in range(self._assoc):
+            slot = base + way
+            if valid[slot] and tags[slot] == tag:
                 self.hits += 1
                 if is_write:
-                    line.dirty = True
+                    self._dirty[slot] = True
                 if params.policy == "lru":
                     order.remove(way)
                     order.append(way)
@@ -133,15 +137,15 @@ class Cache:
             fill_latency = self.miss_latency
 
         victim_way = self._pick_victim(set_index)
-        victim = lines[victim_way]
-        if victim.valid:
+        slot = base + victim_way
+        if valid[slot]:
             self.evictions += 1
-            if victim.dirty:
+            if self._dirty[slot]:
                 self.writebacks += 1
                 # Lazy write-back: counted, not charged (SimpleScalar default).
-        victim.tag = tag
-        victim.valid = True
-        victim.dirty = is_write
+        tags[slot] = tag
+        valid[slot] = True
+        self._dirty[slot] = is_write
         if params.policy in ("lru", "fifo"):
             order.remove(victim_way)
             order.append(victim_way)
@@ -159,16 +163,15 @@ class Cache:
         block = addr >> self._line_shift
         set_index = block & self._set_mask
         tag = block >> (self._set_mask.bit_length())
-        lines = self._sets[set_index]
         victim_way = self._pick_victim(set_index)
-        victim = lines[victim_way]
-        if victim.valid:
+        slot = set_index * self._assoc + victim_way
+        if self._valid[slot]:
             self.evictions += 1
-            if victim.dirty:
+            if self._dirty[slot]:
                 self.writebacks += 1
-        victim.tag = tag
-        victim.valid = True
-        victim.dirty = False
+        self._tags[slot] = tag
+        self._valid[slot] = True
+        self._dirty[slot] = False
         if self.params.policy in ("lru", "fifo"):
             order = self._order[set_index]
             order.remove(victim_way)
@@ -179,15 +182,17 @@ class Cache:
         block = addr >> self._line_shift
         set_index = block & self._set_mask
         tag = block >> (self._set_mask.bit_length())
+        base = set_index * self._assoc
         return any(
-            line.valid and line.tag == tag for line in self._sets[set_index]
+            self._valid[base + way] and self._tags[base + way] == tag
+            for way in range(self._assoc)
         )
 
     def _pick_victim(self, set_index: int) -> int:
         if self.params.policy == "random":
-            lines = self._sets[set_index]
-            for way, line in enumerate(lines):
-                if not line.valid:
+            base = set_index * self._assoc
+            for way in range(self._assoc):
+                if not self._valid[base + way]:
                     return way
             return self._rng.randrange(self.params.assoc)
         return self._order[set_index][0]
@@ -218,6 +223,35 @@ class Cache:
     def reset_stats(self) -> None:
         self.hits = self.misses = self.evictions = self.writebacks = 0
         self.prefetches = 0
+
+    def clone_state(self, next_level: Optional["Cache"] = None) -> "Cache":
+        """An independent copy of tag state, replacement order and stats.
+
+        Much cheaper than ``copy.deepcopy`` (no memo walk over ~10k
+        line objects) — this is what makes the sampled-simulation
+        engine's per-interval warm-state snapshots affordable.  The
+        caller supplies the already-cloned ``next_level`` so a cloned
+        hierarchy keeps its internal wiring.
+        """
+        clone = Cache.__new__(Cache)
+        clone.params = self.params
+        clone.next_level = next_level
+        clone.miss_latency = self.miss_latency
+        clone._rng = random.Random()
+        clone._rng.setstate(self._rng.getstate())
+        clone._line_shift = self._line_shift
+        clone._set_mask = self._set_mask
+        clone._assoc = self._assoc
+        clone._tags = list(self._tags)
+        clone._valid = list(self._valid)
+        clone._dirty = list(self._dirty)
+        clone._order = [list(order) for order in self._order]
+        clone.hits = self.hits
+        clone.misses = self.misses
+        clone.evictions = self.evictions
+        clone.writebacks = self.writebacks
+        clone.prefetches = self.prefetches
+        return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         p = self.params

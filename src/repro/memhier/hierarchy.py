@@ -69,6 +69,30 @@ class MemoryHierarchy:
         """The guaranteed-hit latency used for REESE R-stream loads."""
         return self.params.l1d.hit_latency
 
+    def clone_state(self) -> "MemoryHierarchy":
+        """An independent copy of the whole hierarchy's state.
+
+        Clones bottom-up so the L1s point at the cloned L2 — the cheap
+        snapshot primitive behind the sampled-simulation engine's
+        per-interval warm states.
+        """
+        clone = MemoryHierarchy.__new__(MemoryHierarchy)
+        clone.params = self.params
+        clone.l2 = self.l2.clone_state(next_level=None)
+        clone.l1i = self.l1i.clone_state(next_level=clone.l2)
+        clone.l1d = self.l1d.clone_state(next_level=clone.l2)
+        clone.dtlb = self.dtlb.clone_state() if self.dtlb is not None else None
+        return clone
+
+    def reset_stats(self) -> None:
+        """Zero every level's counters (state/tag contents untouched)."""
+        self.l1i.reset_stats()
+        self.l1d.reset_stats()
+        self.l2.reset_stats()
+        if self.dtlb is not None:
+            self.dtlb.hits = 0
+            self.dtlb.misses = 0
+
     def stat_dict(self) -> Dict[str, Dict[str, float]]:
         """Nested statistics for all levels."""
         stats = {

@@ -57,3 +57,15 @@ class TLB:
     def miss_rate(self) -> float:
         total = self.hits + self.misses
         return self.misses / total if total else 0.0
+
+    def clone_state(self) -> "TLB":
+        """An independent copy of entries and stats (cheap snapshot)."""
+        clone = TLB.__new__(TLB)
+        clone.page_shift = self.page_shift
+        clone.n_sets = self.n_sets
+        clone.assoc = self.assoc
+        clone.miss_penalty = self.miss_penalty
+        clone._sets = [list(entry_set) for entry_set in self._sets]
+        clone.hits = self.hits
+        clone.misses = self.misses
+        return clone

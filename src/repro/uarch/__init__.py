@@ -24,8 +24,24 @@ from .observe import (
     TraceEvent,
     build_observability,
 )
-from .pipeline import Pipeline, SimulationDeadlockError
+from .pipeline import (
+    Pipeline,
+    SimulationDeadlockError,
+    SimulationTimeoutError,
+    warm_caches_over,
+    warm_predictor_over,
+)
 from .ptrace import PipeTrace
+from .sampling import (
+    SampledResult,
+    SamplingSpec,
+    WarmState,
+    build_warm_state,
+    mispredict_profile,
+    run_interval,
+    run_sampled,
+    select_intervals,
+)
 from .stats import Stats
 
 __all__ = [
@@ -51,6 +67,17 @@ __all__ = [
     "FUPool",
     "Pipeline",
     "SimulationDeadlockError",
+    "SimulationTimeoutError",
+    "warm_caches_over",
+    "warm_predictor_over",
     "PipeTrace",
+    "SampledResult",
+    "SamplingSpec",
+    "WarmState",
+    "build_warm_state",
+    "run_interval",
+    "mispredict_profile",
+    "run_sampled",
+    "select_intervals",
     "Stats",
 ]

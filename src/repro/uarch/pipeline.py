@@ -65,6 +65,70 @@ class SimulationDeadlockError(Exception):
     """The pipeline made no commit progress for an implausible interval."""
 
 
+class SimulationTimeoutError(Exception):
+    """The cycle cap expired before every trace instruction committed.
+
+    Carries the partial :class:`~repro.uarch.stats.Stats` as
+    :attr:`stats` for diagnosis; the harness must never cache or report
+    such a truncated result as if the run had finished.
+    """
+
+    def __init__(self, cap: int, committed: int, total: int, stats) -> None:
+        self.cap = cap
+        self.committed = committed
+        self.total = total
+        self.stats = stats
+        super().__init__(
+            f"cycle cap {cap} exhausted with {committed}/{total} "
+            f"instructions committed"
+        )
+
+
+def warm_caches_over(mem: MemoryHierarchy, trace, line_shift: int) -> None:
+    """Architecturally touch every I-line, data address and TLB page.
+
+    One functional pass over ``trace`` (any iterable of
+    :class:`~repro.arch.trace.DynInst`): instruction lines are fetched
+    once per line run, loads/stores touch the data side.  Shared by the
+    full-run warm-up (:meth:`Pipeline._warm_up`) and the sampled engine
+    (:mod:`repro.uarch.sampling`), whose fast-forward between
+    measurement intervals is exactly this pass over the skipped region.
+    The caller resets cache statistics afterwards when the pass is
+    warm-up rather than measurement.
+    """
+    # Hoisted bound methods: this loop is the sampled engine's
+    # fast-forward path, run over most of the trace per sampled run.
+    ifetch = mem.ifetch
+    daccess = mem.daccess
+    last_line = -1
+    for dyn in trace:
+        pc = dyn.pc
+        line = pc >> line_shift
+        if line != last_line:
+            ifetch(pc)
+            last_line = line
+        ea = dyn.ea
+        if ea is not None:
+            daccess(ea, is_write=dyn.is_store)
+
+
+def warm_predictor_over(predictor, trace) -> None:
+    """Pre-train the direction predictor on a branch stream.
+
+    The counterpart of :func:`warm_caches_over` for the predictor: one
+    predict/update pass over every conditional branch in ``trace``.
+    The caller zeroes ``predictor.lookups``/``correct`` afterwards when
+    the pass is warm-up rather than measurement.
+    """
+    predict = predictor.predict
+    update = predictor.update
+    for dyn in trace:
+        if dyn.is_cond_branch:
+            pc = dyn.pc
+            predict(pc)
+            update(pc, dyn.taken)
+
+
 class _Entry:
     """One in-flight instruction (fetch queue / RUU / LSQ resident)."""
 
@@ -139,6 +203,9 @@ class Pipeline:
         warm_caches: bool = False,
         warm_predictor: bool = False,
         observer=None,
+        warm_state=None,
+        measure_from: Optional[int] = None,
+        stop_after: Optional[int] = None,
     ) -> None:
         """
         Args:
@@ -164,6 +231,29 @@ class Pipeline:
                 at construction, ``on_cycle(pipeline)`` at the end of
                 every simulated cycle, ``finalize(stats)`` after the
                 run.
+            warm_state: optional pre-warmed architectural state (an
+                object with ``mem``, ``predictor``, ``btb`` and ``ras``
+                attributes, e.g. :class:`repro.uarch.sampling.WarmState`).
+                When given, the pipeline adopts those structures instead
+                of building cold ones and the ``warm_caches`` /
+                ``warm_predictor`` flags are ignored — the sampled
+                engine hands every measurement interval a state that was
+                functionally fast-forwarded to the interval start.
+            measure_from: trace seq whose commit opens the measurement
+                window — all statistics (including cache/predictor/FU
+                counters) are reset the moment it reaches commit, so
+                the returned Stats cover only instructions from this
+                seq on.  The sampled engine uses it to run detailed
+                warm-up instructions ahead of a measurement interval
+                without polluting its numbers.  ``None`` measures the
+                whole run.
+            stop_after: trace seq whose commit ends the run — younger
+                trace instructions are fetched/executed (keeping the
+                machine realistically busy behind the measured window)
+                but never commit.  The sampled engine's drain padding:
+                without it a measurement interval's tail could not
+                overlap with successor work the way it does in a full
+                run.  ``None`` runs the trace to completion.
         """
         self.program = program
         self.trace = trace
@@ -178,16 +268,28 @@ class Pipeline:
             bind(self)
         self.stats = Stats()
 
-        self.mem = MemoryHierarchy(config.mem)
         self.fupool = FUPool(config)
-        self.predictor = make_predictor(config.predictor, **config.predictor_kwargs)
-        self.btb = BTB(config.btb_entries)
-        self.ras = ReturnAddressStack(config.ras_depth)
+        if warm_state is not None:
+            self.warm_caches = False
+            self.warm_predictor = False
+            self.mem = warm_state.mem
+            self.predictor = warm_state.predictor
+            self.btb = warm_state.btb
+            self.ras = warm_state.ras
+        else:
+            self.mem = MemoryHierarchy(config.mem)
+            self.predictor = make_predictor(
+                config.predictor, **config.predictor_kwargs
+            )
+            self.btb = BTB(config.btb_entries)
+            self.ras = ReturnAddressStack(config.ras_depth)
 
         self.cycle = 0
         self._done = False
         self._next_seq = 0
         self._event_tie = 0
+        self._measure_from = measure_from
+        self._stop_after = stop_after
 
         # Front end.
         self.ifq: Deque[_Entry] = deque()
@@ -249,6 +351,12 @@ class Pipeline:
         Raises:
             SimulationDeadlockError: if no instruction commits for
                 :data:`DEADLOCK_WINDOW` cycles.
+            SimulationTimeoutError: the cycle cap ran out before every
+                trace instruction committed.  Truncated runs used to
+                return partial Stats silently, so a too-small cap
+                quietly produced figures computed over a prefix of the
+                workload; exhaustion is now an explicit error carrying
+                the partial Stats.
             UnrecoverableFaultError: REESE retry budget exhausted.
         """
         total = len(self.trace)
@@ -289,32 +397,46 @@ class Pipeline:
                     f"ruu={len(self.ruu)}, ifq={len(self.ifq)}, "
                     f"rqueue={len(self.rqueue) if self.rqueue else 0})"
                 )
+        if not self._done:
+            raise SimulationTimeoutError(
+                cap, self.stats.committed, total, self._finalize()
+            )
         return self._finalize()
 
     def _warm_up(self) -> None:
         """One architectural pass over the trace to warm caches/predictor."""
         if self.warm_caches:
-            mem = self.mem
-            last_line = -1
-            line_shift = self._line_shift
-            for dyn in self.trace:
-                line = dyn.pc >> line_shift
-                if line != last_line:
-                    mem.ifetch(dyn.pc)
-                    last_line = line
-                if dyn.ea is not None:
-                    mem.daccess(dyn.ea, is_write=dyn.is_store)
+            warm_caches_over(self.mem, self.trace, self._line_shift)
             self.mem.l1i.reset_stats()
             self.mem.l1d.reset_stats()
             self.mem.l2.reset_stats()
         if self.warm_predictor:
-            predictor = self.predictor
-            for dyn in self.trace:
-                if dyn.is_cond_branch:
-                    predictor.predict(dyn.pc)
-                    predictor.update(dyn.pc, dyn.taken)
-            predictor.lookups = 0
-            predictor.correct = 0
+            warm_predictor_over(self.predictor, self.trace)
+            self.predictor.lookups = 0
+            self.predictor.correct = 0
+
+    def _begin_measurement(self) -> None:
+        """Open the measurement window: zero every statistic in place.
+
+        Fires once, when the ``measure_from`` instruction reaches
+        commit.  Machine state (caches, predictor, queues, in-flight
+        work) is untouched — only counters reset, so the Stats this run
+        returns describe the measured window of a machine that was
+        already realistically busy.
+        """
+        self._measure_from = None
+        stats = self.stats
+        for name in Stats._SUM_FIELDS:
+            setattr(stats, name, 0)
+        for name in Stats._MAX_FIELDS:
+            setattr(stats, name, 0)
+        self.mem.reset_stats()
+        self.predictor.lookups = 0
+        self.predictor.correct = 0
+        for key in self.fupool.issues:
+            self.fupool.issues[key] = 0
+        for key in self.fupool.issues_r:
+            self.fupool.issues_r[key] = 0
 
     def _finalize(self) -> Stats:
         stats = self.stats
@@ -355,6 +477,8 @@ class Pipeline:
             ruu.pop(0)
             if head.is_mem:
                 self._lsq_remove(head)
+            if self._done:
+                return
             budget -= 1
 
     def _commit_dup(self) -> None:
@@ -376,6 +500,8 @@ class Pipeline:
             shadow = head.shadow
             if shadow is not None and not shadow.completed:
                 break
+            if head.trace_seq == self._measure_from:
+                self._begin_measurement()
             if shadow is not None:
                 self.stats.comparisons += 1
                 p_val = reese_p_value(head.dyn)
@@ -414,7 +540,7 @@ class Pipeline:
                 observer.notify("commit", self.cycle, head)
             self.stats.committed += 1
             self.commit_seq = head.trace_seq + 1
-            if head.is_halt:
+            if head.is_halt or head.trace_seq == self._stop_after:
                 self._done = True
             ruu.pop(0)
             if head.is_mem:
@@ -427,10 +553,14 @@ class Pipeline:
                     ruu.remove(shadow)
                 if shadow.is_mem:
                     self._lsq_remove(shadow)
+            if self._done:
+                return
             budget -= 1
 
     def _retire_entry(self, entry: _Entry) -> None:
         """Architectural retirement bookkeeping (baseline path)."""
+        if entry.trace_seq == self._measure_from:
+            self._begin_measurement()
         if self.observer is not None:
             self.observer.notify("commit", self.cycle, entry)
         if entry.p_fault_bit is not None:
@@ -438,7 +568,7 @@ class Pipeline:
             self.stats.sdc_commits += 1
         self.stats.committed += 1
         self.commit_seq = entry.trace_seq + 1
-        if entry.is_halt:
+        if entry.is_halt or entry.trace_seq == self._stop_after:
             self._done = True
 
     def _commit_reese(self) -> None:
@@ -452,6 +582,8 @@ class Pipeline:
             if rentry is None:
                 break
             dyn = rentry.dyn
+            if rentry.seq == self._measure_from:
+                self._begin_measurement()
             if not rentry.skip_r:
                 self.stats.comparisons += 1
                 match = values_equal(rentry.p_value, rentry.r_value)
@@ -488,8 +620,9 @@ class Pipeline:
                 )
             self.stats.committed += 1
             self.commit_seq = rentry.seq + 1
-            if dyn.op is Op.HALT:
+            if dyn.op is Op.HALT or rentry.seq == self._stop_after:
                 self._done = True
+                return
             budget -= 1
 
         # Phase 2: move completed P instructions from the RUU into the

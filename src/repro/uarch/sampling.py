@@ -1,0 +1,791 @@
+"""Sampled + fast-forward simulation (SMARTS-style systematic sampling).
+
+The paper's results come from 100 M-instruction SimpleScalar runs; the
+detailed cycle-level :class:`~repro.uarch.pipeline.Pipeline` makes
+anything past ~10⁵ instructions per configuration impractical in
+Python.  This module trades a statistically controlled amount of
+detail for wall clock: split the dynamic trace into ``k`` evenly
+spaced **measurement intervals** of ``U`` instructions, run *only*
+those intervals (plus small detailed warm-up and drain-padding
+windows) through the detailed pipeline, and **functionally
+fast-forward** between them with the architectural warm-up pass the
+full-run path already uses (cache touch + predictor train,
+:func:`~repro.uarch.pipeline.warm_caches_over` /
+:func:`~repro.uarch.pipeline.warm_predictor_over`).
+
+Design (mirrors SMARTS / RepTFD's checkpoint-and-replay split):
+
+* **Interval selection** (``placement="profile"``, the default) works
+  on the grid of contiguous ``U``-instruction windows.  A cheap
+  functional control-flow pass (:func:`mispredict_profile`) replays
+  the fetch-time predictors over the whole trace — the pipeline trains
+  them at fetch with trace ground truth, so mispredict events are a
+  *pure trace property*, reproduced exactly — and the selector picks
+  the median window of each of ``k`` mispredict-density quantiles.
+  That guarantees the sample spans the workload's fast and slow phases
+  (an interpreter's dispatch storms, a compiler's quiet stretches)
+  instead of hoping stratified-random placement hits them.  ``"random"``
+  (seeded, stratified per segment) and ``"end"`` (classic systematic)
+  placements remain available.  Requesting coverage ≥ the whole trace
+  degenerates to a contiguous partition — full detailed simulation.
+* **IPC estimation** under profile placement is a regression (control
+  variate) estimator rather than the raw sample ratio: per-window
+  cycles fit ``cycles ≈ a·instructions + b·mispredicts`` almost
+  perfectly (R² > 0.99 on every suite workload — branch recovery
+  dominates what varies between windows), and both regressor totals
+  are known *exactly* for the full trace, so total cycles extrapolate
+  as ``a·N + b·M``.  Workloads whose per-window IPC is bimodal (the
+  ``li`` interpreter: slow phases are 50 % of cycles in 25 % of
+  instructions) defeat plain ratio estimates at small ``k`` — the
+  regression estimator holds them to ≲2 % error at ``k=15``.  When the
+  mispredict spread is too small to identify ``b`` the estimator falls
+  back to the ratio automatically.
+* **Warm state** for a detailed window starting at ``w`` is a
+  deterministic fold: (1) the full-trace architectural warm pass
+  (identical to ``warm=True`` full runs — the paper's caches run warm)
+  then (2) a functional replay of the prefix ``[0, w)``.  The fold
+  depends only on ``(trace, config, w)``, so an interval simulated
+  in-process and the same interval simulated as an independent
+  :class:`~repro.harness.parallel.SimJob` in a worker produce
+  **bit-identical Stats** — the property the jobs-invariance tests pin.
+  Snapshots use the model classes' cheap ``clone_state`` methods, not
+  ``copy.deepcopy``.
+* **Detailed warm-up and drain padding** bound the two truncation
+  biases of short intervals.  The pipeline runs ``warmup`` extra
+  instructions before the measured region and resets every statistic
+  when the first measured instruction commits (``measure_from``), so
+  measurement starts on a full, busy machine rather than an empty one;
+  it keeps fetching ``cooldown`` successor instructions past the
+  region but terminates at the last measured commit (``stop_after``),
+  so the interval tail overlaps with younger work exactly as it would
+  mid-run instead of draining into an artificial void (REESE's
+  R-stream queue makes that drain expensive, which would bias its
+  sampled IPC low).
+* **Interval traces are re-sequenced**: the pipeline requires
+  ``trace[i].seq == i`` (commit bookkeeping, recovery refetch), so each
+  detailed window runs on per-interval copies of its
+  :class:`~repro.arch.trace.DynInst` records, renumbered from zero.
+* **Statistics**: per-interval :class:`~repro.uarch.stats.Stats` merge
+  through :meth:`Stats.merge` into a whole-run view (the headline IPC
+  is committed/cycles over all measured windows), and the sampler also
+  reports the mean of per-interval IPCs with a CLT confidence
+  interval — the SMARTS-style point estimate ± error bound.
+
+Baseline, dispatch-duplication and REESE configurations all sample
+identically: the engine is a driver around ``Pipeline``, not a model
+change.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..arch.trace import DynInst, Trace
+from ..bpred import BTB, PerfectPredictor, ReturnAddressStack, make_predictor
+from ..isa.instructions import Op
+from ..isa.registers import REG_RA
+from ..memhier.hierarchy import MemoryHierarchy
+from ..reese.faults import FaultModel
+from .config import MachineConfig
+from .pipeline import Pipeline
+from .stats import Stats
+
+#: Two-sided 95 % normal quantile for the CLT confidence interval.
+Z_95 = 1.96
+
+#: An interval: (warm_start, measure_start, end) trace positions.
+#: Detailed simulation covers ``[warm_start, end + cooldown)``;
+#: statistics cover ``[measure_start, end)``.
+IntervalBounds = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class SamplingSpec:
+    """How to sample one workload trace.
+
+    Attributes:
+        intervals: number of measurement intervals ``k``.
+        interval_length: measured instructions per interval ``U``.
+        warmup: detailed warm-up instructions run through the pipeline
+            ahead of each measured region and excluded from its Stats
+            (the pipeline-fill transient; functional fast-forward
+            already handles caches and predictor).
+        cooldown: successor instructions kept in flight past the
+            measured region so its tail overlaps younger work; they
+            execute but never commit.
+        placement: how measurement intervals are chosen.
+            ``"profile"`` (default) picks the median window of each
+            mispredict-density quantile on the ``U``-window grid and
+            estimates IPC by regression against the exact trace-wide
+            mispredict total (see module docstring) — deterministic
+            given ``(trace, config, spec)``.  ``"random"`` draws a
+            seeded uniform offset per equal segment — stratified random
+            sampling, immune to aliasing against periodic workloads.
+            ``"end"`` is classic systematic placement at segment ends.
+        seed: RNG seed for ``"random"`` placement; the same
+            ``(total, spec)`` always selects the same intervals, on any
+            worker.  Unused (but still part of the cache fingerprint)
+            for the deterministic placements.
+        index: restrict execution to one interval (used by the
+            harness's interval-level job fan-out); ``None`` runs all.
+    """
+
+    intervals: int
+    interval_length: int = 300
+    warmup: int = 50
+    cooldown: int = 50
+    placement: str = "profile"
+    seed: int = 12345
+    index: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.intervals <= 0:
+            raise ValueError("intervals must be positive")
+        if self.interval_length <= 0:
+            raise ValueError("interval_length must be positive")
+        if self.warmup < 0:
+            raise ValueError("warmup must be non-negative")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        if self.placement not in ("profile", "random", "end"):
+            raise ValueError(
+                "placement must be 'profile', 'random' or 'end', "
+                f"not {self.placement!r}"
+            )
+        if self.index is not None and not 0 <= self.index < self.intervals:
+            raise ValueError(
+                f"index {self.index} outside [0, {self.intervals})"
+            )
+
+
+def mispredict_profile(program, trace: Trace, config: MachineConfig) -> List[int]:
+    """Prefix sums of fetch-time branch mispredictions over ``trace``.
+
+    Replays the direction predictor, BTB and RAS over the whole trace
+    exactly as ``Pipeline._predict_next`` consults them.  Because the
+    timing models train all three at fetch with the trace's ground
+    truth (oracle update timing, DESIGN.md §5), the sequence of
+    mispredict events is independent of pipeline timing — this pass
+    reproduces the detailed simulator's total misprediction count
+    exactly, at functional-replay speed.
+
+    Returns ``pre`` with ``len(trace) + 1`` entries; mispredictions in
+    ``trace[i:j]`` are ``pre[j] - pre[i]``.
+    """
+    predictor = make_predictor(config.predictor, **config.predictor_kwargs)
+    btb = BTB(config.btb_entries)
+    ras = ReturnAddressStack(config.ras_depth)
+    code = program.code
+    prime = isinstance(predictor, PerfectPredictor)
+    pre = [0] * (len(trace) + 1)
+    acc = 0
+    for i, dyn in enumerate(trace):
+        if dyn.is_branch:
+            fallthrough = dyn.static_index + 1
+            op = dyn.op
+            if dyn.is_cond_branch:
+                if prime:
+                    predictor.prime(dyn.taken)
+                taken = predictor.predict_and_update(dyn.pc, dyn.taken)
+                predicted = dyn.target_index if taken else fallthrough
+            elif op is Op.J:
+                predicted = dyn.target_index
+            elif op is Op.JAL:
+                ras.push(fallthrough)
+                predicted = dyn.target_index
+            elif op is Op.JR:
+                if code[dyn.static_index].rs1 == REG_RA:
+                    hit = ras.pop()
+                else:
+                    hit = btb.lookup(dyn.pc)
+                btb.update(dyn.pc, dyn.target_index)
+                predicted = hit if hit is not None else -1
+            else:  # JALR
+                ras.push(fallthrough)
+                hit = btb.lookup(dyn.pc)
+                btb.update(dyn.pc, dyn.target_index)
+                predicted = hit if hit is not None else -1
+            if predicted != dyn.next_index:
+                acc += 1
+        pre[i + 1] = acc
+    return pre
+
+
+def _window_grid(total: int, length: int) -> List[Tuple[int, int]]:
+    """The contiguous ``length``-instruction window grid over a trace."""
+    return [
+        (start, min(start + length, total))
+        for start in range(0, total, length)
+    ]
+
+
+def select_intervals(
+    total: int,
+    spec: SamplingSpec,
+    profile: Optional[List[int]] = None,
+) -> List[IntervalBounds]:
+    """Measurement intervals over a trace of ``total`` instructions.
+
+    ``"profile"`` placement ranks the contiguous ``U``-window grid by
+    exact mispredict density (``profile`` must be the prefix sums from
+    :func:`mispredict_profile`) and takes the median window of each of
+    ``k`` density quantiles, returned in trace order.  ``"end"`` and
+    ``"random"`` split the trace into ``k`` equal segments and place
+    one window per segment (at the end, or at a seeded uniform
+    offset).  When the requested coverage meets or exceeds the trace,
+    every placement degenerates to the contiguous partition — full
+    detailed simulation.
+
+    Deterministic: the same ``(total, spec, profile)`` always yields
+    the same intervals, on any worker.
+    """
+    if total <= 0:
+        return []
+    k, length = spec.intervals, spec.interval_length
+    if k * length >= total:
+        return [
+            (start, start, end) for start, end in _window_grid(total, length)
+        ]
+    if spec.placement == "profile":
+        if profile is None:
+            raise ValueError(
+                "placement 'profile' needs the mispredict_profile prefix sums"
+            )
+        grid = _window_grid(total, length)
+        windows = len(grid)
+        order = sorted(
+            range(windows),
+            key=lambda w: (profile[grid[w][1]] - profile[grid[w][0]], w),
+        )
+        picks = sorted(
+            order[(((i * windows) // k) + (((i + 1) * windows) // k)) // 2]
+            for i in range(k)
+        )
+        bounds: List[IntervalBounds] = []
+        previous_end = 0
+        for w in picks:
+            measure_start, end = grid[w]
+            warm_start = max(measure_start - spec.warmup, previous_end)
+            bounds.append((warm_start, measure_start, end))
+            previous_end = end
+        return bounds
+    rng = (
+        random.Random(spec.seed * 1_000_003 + total)
+        if spec.placement == "random"
+        else None
+    )
+    bounds = []
+    previous_end = 0
+    for i in range(k):
+        segment_end = ((i + 1) * total) // k
+        if rng is None:
+            measure_start = max(segment_end - length, previous_end)
+        else:
+            lo = max((i * total) // k, previous_end)
+            hi = segment_end - length
+            measure_start = rng.randint(lo, hi) if hi > lo else lo
+        end = min(measure_start + length, segment_end)
+        warm_start = max(measure_start - spec.warmup, previous_end)
+        bounds.append((warm_start, measure_start, end))
+        previous_end = end
+    return bounds
+
+
+class WarmState:
+    """Architectural machine state a detailed window starts from.
+
+    Holds exactly the structures :class:`Pipeline` would otherwise
+    build cold — memory hierarchy, direction predictor, BTB, return
+    address stack — after the deterministic warm fold described in the
+    module docstring.  ``advance`` continues the functional replay;
+    ``snapshot`` clones the state (with statistics zeroed) for handing
+    to an interval pipeline without disturbing the sweep.
+
+    ``warm_full`` touches caches and direction predictor only — the
+    exact composition of the full-run ``warm=True`` pass.  ``advance``
+    additionally replays the BTB and return-address stack in fetch
+    order, so a window's control-flow structures hold their *true*
+    mid-run state (modulo wrong-path speculation) rather than starting
+    cold at every interval.  Both are single fused loops: the sweep is
+    the dominant cost of a sampled run, so one trace iteration per
+    pass matters.
+    """
+
+    __slots__ = (
+        "program", "config", "mem", "predictor", "btb", "ras", "_line_shift"
+    )
+
+    def __init__(self, program, config: MachineConfig) -> None:
+        self.program = program
+        self.config = config
+        self.mem = MemoryHierarchy(config.mem)
+        self.predictor = make_predictor(
+            config.predictor, **config.predictor_kwargs
+        )
+        self.btb = BTB(config.btb_entries)
+        self.ras = ReturnAddressStack(config.ras_depth)
+        self._line_shift = config.mem.l1i.line_size.bit_length() - 1
+
+    def warm_full(self, trace: Trace) -> None:
+        """The full-trace warm pass (identical to ``warm=True`` runs)."""
+        mem = self.mem
+        ifetch = mem.ifetch
+        daccess = mem.daccess
+        predict = self.predictor.predict
+        update = self.predictor.update
+        shift = self._line_shift
+        last_line = -1
+        for dyn in trace:
+            pc = dyn.pc
+            line = pc >> shift
+            if line != last_line:
+                ifetch(pc)
+                last_line = line
+            ea = dyn.ea
+            if ea is not None:
+                daccess(ea, is_write=dyn.is_store)
+            if dyn.is_cond_branch:
+                predict(pc)
+                update(pc, dyn.taken)
+
+    def advance(self, trace: Trace, start: int, stop: int) -> None:
+        """Functionally replay ``trace[start:stop]`` into the state.
+
+        Caches and predictor advance as in :meth:`warm_full`; the BTB
+        and RAS replay the structural updates of
+        ``Pipeline._predict_next`` (push on calls, pop on returns,
+        record resolved indirect targets).
+        """
+        mem = self.mem
+        ifetch = mem.ifetch
+        daccess = mem.daccess
+        predict = self.predictor.predict
+        update = self.predictor.update
+        ras_push = self.ras.push
+        ras_pop = self.ras.pop
+        btb_update = self.btb.update
+        code = self.program.code
+        shift = self._line_shift
+        last_line = -1
+        for dyn in trace[start:stop]:
+            pc = dyn.pc
+            line = pc >> shift
+            if line != last_line:
+                ifetch(pc)
+                last_line = line
+            ea = dyn.ea
+            if ea is not None:
+                daccess(ea, is_write=dyn.is_store)
+            if dyn.is_branch:
+                if dyn.is_cond_branch:
+                    predict(pc)
+                    update(pc, dyn.taken)
+                else:
+                    op = dyn.op
+                    if op is Op.JAL:
+                        ras_push(dyn.static_index + 1)
+                    elif op is Op.JR:
+                        if code[dyn.static_index].rs1 == REG_RA:
+                            ras_pop()
+                        btb_update(pc, dyn.target_index)
+                    elif op is Op.JALR:
+                        ras_push(dyn.static_index + 1)
+                        btb_update(pc, dyn.target_index)
+
+    def snapshot(self) -> "WarmState":
+        """An isolated copy with measurement statistics zeroed."""
+        clone = WarmState.__new__(WarmState)
+        clone.program = self.program
+        clone.config = self.config
+        clone.mem = self.mem.clone_state()
+        clone.predictor = self.predictor.clone_state()
+        clone.btb = self.btb.clone_state()
+        clone.ras = self.ras.clone_state()
+        clone._line_shift = self._line_shift
+        clone.mem.reset_stats()
+        clone.predictor.lookups = 0
+        clone.predictor.correct = 0
+        clone.btb.hits = 0
+        clone.btb.misses = 0
+        clone.ras.pushes = 0
+        clone.ras.pops = 0
+        clone.ras.overflows = 0
+        return clone
+
+
+def build_warm_state(
+    program,
+    config: MachineConfig,
+    trace: Trace,
+    start: int,
+    warm: bool = True,
+) -> WarmState:
+    """Self-contained warm state for a detailed window starting at
+    ``start``.
+
+    Used by the per-interval job path; the in-process driver reaches
+    the identical state incrementally (the fold is associative over
+    trace prefixes).
+    """
+    state = WarmState(program, config)
+    if warm:
+        state.warm_full(trace)
+    state.advance(trace, 0, start)
+    return state.snapshot()
+
+
+def resequence(trace: Trace, start: int, stop: int) -> List[DynInst]:
+    """Per-interval DynInst copies renumbered from zero.
+
+    The pipeline's commit/recovery bookkeeping requires
+    ``trace[i].seq == i``; static-program indices (``static_index``,
+    ``target_index``, ``next_index``) are positions in the program text
+    and copy through unchanged.
+    """
+    out: List[DynInst] = []
+    for offset, dyn in enumerate(trace[start:stop]):
+        clone = DynInst.__new__(DynInst)
+        for name in DynInst.__slots__:
+            setattr(clone, name, getattr(dyn, name))
+        clone.seq = offset
+        out.append(clone)
+    return out
+
+
+@dataclass
+class SampledResult:
+    """Outcome of one sampled simulation.
+
+    ``stats`` is the merged whole-run view (counters summed over the
+    measured intervals); ``interval_stats`` keeps the per-interval
+    Stats for the statistics below and for callers that want the raw
+    points.  When the run used profile placement,
+    ``interval_mispredicts`` / ``total_mispredicts`` carry the exact
+    regressor data the regression estimator needs (see module
+    docstring); otherwise they are ``None`` and the estimate is the
+    plain measured ratio.
+    """
+
+    spec: SamplingSpec
+    total_instructions: int
+    intervals: List[IntervalBounds]
+    interval_stats: List[Stats]
+    interval_mispredicts: Optional[List[int]] = None
+    total_mispredicts: Optional[int] = None
+    stats: Stats = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.stats = Stats.merged(self.interval_stats)
+
+    # -- point estimate and error bound ---------------------------------
+
+    def _regression(self) -> Optional[Tuple[float, float]]:
+        """(estimated total cycles, 95 % CI half-width on them).
+
+        Fits ``cycles = a·committed + b·mispredicts`` over the sampled
+        windows (no intercept) and extrapolates with the exact
+        trace-wide totals.  Returns None when regressor data is absent
+        or the mispredict spread cannot identify ``b`` — callers fall
+        back to the ratio estimate.
+        """
+        if self.interval_mispredicts is None or self.total_mispredicts is None:
+            return None
+        if self.measured_instructions >= self.total_instructions:
+            return None  # full coverage: the measured ratio is exact
+        rows = [
+            (stats.committed, mispred, stats.cycles)
+            for stats, mispred in zip(
+                self.interval_stats, self.interval_mispredicts
+            )
+        ]
+        k = len(rows)
+        if k < 2:
+            return None
+        mean_x = sum(x for _, x, _ in rows) / k
+        var_x = sum((x - mean_x) ** 2 for _, x, _ in rows) / k
+        if var_x < 1e-9:
+            return None
+        s_nn = sum(n * n for n, _, _ in rows)
+        s_xx = sum(x * x for _, x, _ in rows)
+        s_xn = sum(n * x for n, x, _ in rows)
+        s_ny = sum(n * y for n, _, y in rows)
+        s_xy = sum(x * y for _, x, y in rows)
+        det = s_nn * s_xx - s_xn * s_xn
+        if det <= 0:
+            return None
+        a = (s_xx * s_ny - s_xn * s_xy) / det
+        b = (s_nn * s_xy - s_xn * s_ny) / det
+        total_n = self.total_instructions
+        total_x = self.total_mispredicts
+        cycles = a * total_n + b * total_x
+        if b < 0 or cycles <= 0:
+            return None  # unphysical fit: mispredicts cannot save cycles
+        if k > 2:
+            rss = sum((y - a * n - b * x) ** 2 for n, x, y in rows)
+            sigma2 = rss / (k - 2)
+            var_cycles = (
+                sigma2
+                * (
+                    total_n * total_n * s_xx
+                    - 2 * total_n * total_x * s_xn
+                    + total_x * total_x * s_nn
+                )
+                / det
+            )
+            ci = Z_95 * math.sqrt(max(var_cycles, 0.0))
+        else:
+            ci = 0.0
+        return cycles, ci
+
+    @property
+    def estimated_cycles(self) -> float:
+        """Estimated total cycles for the full trace.
+
+        Regression extrapolation when regressor data is available,
+        otherwise the measured-ratio extrapolation
+        ``measured_cycles · N / measured_instructions``.
+        """
+        fit = self._regression()
+        if fit is not None:
+            return fit[0]
+        measured = self.measured_instructions
+        if not measured:
+            return 0.0
+        return self.stats.cycles * self.total_instructions / measured
+
+    @property
+    def ipc(self) -> float:
+        """Estimated full-trace IPC.
+
+        ``N / estimated_cycles`` under the regression estimator; the
+        instruction-weighted measured ratio otherwise (the two coincide
+        when sampling degenerates to a contiguous partition).
+        """
+        fit = self._regression()
+        if fit is not None:
+            return self.total_instructions / fit[0]
+        return self.stats.ipc
+
+    @property
+    def interval_ipcs(self) -> List[float]:
+        return [stats.ipc for stats in self.interval_stats]
+
+    @property
+    def ipc_mean(self) -> float:
+        """Mean of per-interval IPCs (the SMARTS point estimate)."""
+        ipcs = self.interval_ipcs
+        return sum(ipcs) / len(ipcs) if ipcs else 0.0
+
+    @property
+    def ipc_std(self) -> float:
+        """Sample standard deviation of per-interval IPCs."""
+        ipcs = self.interval_ipcs
+        if len(ipcs) < 2:
+            return 0.0
+        mean = self.ipc_mean
+        return math.sqrt(
+            sum((x - mean) ** 2 for x in ipcs) / (len(ipcs) - 1)
+        )
+
+    @property
+    def ipc_ci(self) -> float:
+        """95 % confidence-interval half-width on :attr:`ipc`.
+
+        Under the regression estimator this propagates the fit's
+        prediction variance through ``IPC = N / cycles`` (delta
+        method); otherwise it is the CLT half-width on the mean of
+        per-interval IPCs.
+        """
+        fit = self._regression()
+        if fit is not None:
+            cycles, cycles_ci = fit
+            return self.total_instructions / (cycles * cycles) * cycles_ci
+        ipcs = self.interval_ipcs
+        if len(ipcs) < 2:
+            return 0.0
+        return Z_95 * self.ipc_std / math.sqrt(len(ipcs))
+
+    @property
+    def measured_instructions(self) -> int:
+        return sum(end - m0 for _, m0, end in self.intervals)
+
+    @property
+    def detail_fraction(self) -> float:
+        """Fraction of the trace measured through the detailed pipeline.
+
+        Excludes warm-up/cooldown padding — see
+        :attr:`simulated_fraction` for the cost-side view.
+        """
+        if not self.total_instructions:
+            return 0.0
+        return self.measured_instructions / self.total_instructions
+
+    @property
+    def simulated_fraction(self) -> float:
+        """Fraction of the trace that entered the detailed pipeline at
+        all (measured regions plus warm-up and drain padding) — the
+        detailed-simulation cost of the run."""
+        if not self.total_instructions:
+            return 0.0
+        simulated = sum(
+            min(end + self.spec.cooldown, self.total_instructions) - w0
+            for w0, _, end in self.intervals
+        )
+        return simulated / self.total_instructions
+
+    def summary(self) -> str:
+        estimator = (
+            "regression" if self._regression() is not None else "ratio"
+        )
+        return (
+            f"sampled {len(self.intervals)}x"
+            f"{self.spec.interval_length} of {self.total_instructions} "
+            f"insts ({self.detail_fraction:.1%} measured, {estimator}): "
+            f"IPC {self.ipc:.3f} ± {self.ipc_ci:.3f}"
+        )
+
+    @classmethod
+    def from_interval_stats(
+        cls,
+        spec: SamplingSpec,
+        total_instructions: int,
+        interval_stats: List[Stats],
+        profile: Optional[List[int]] = None,
+    ) -> "SampledResult":
+        """Rebuild a result from externally executed interval Stats.
+
+        This is the merge path of the harness's interval-level job
+        fan-out: one Stats per interval, in interval order.  For
+        profile placement pass the same :func:`mispredict_profile`
+        prefix sums the intervals were selected with (they also feed
+        the regression estimator).
+        """
+        bounds = select_intervals(total_instructions, spec, profile)
+        if len(interval_stats) != len(bounds):
+            raise ValueError(
+                f"expected {len(bounds)} interval Stats, "
+                f"got {len(interval_stats)}"
+            )
+        mispredicts = total_mispredicts = None
+        if profile is not None:
+            mispredicts = [
+                profile[end] - profile[m0] for _, m0, end in bounds
+            ]
+            total_mispredicts = profile[-1]
+        return cls(
+            spec, total_instructions, bounds, interval_stats,
+            mispredicts, total_mispredicts,
+        )
+
+
+def _run_window(
+    program,
+    trace: Trace,
+    config: MachineConfig,
+    spec: SamplingSpec,
+    bounds: IntervalBounds,
+    state: WarmState,
+    fault_model: Optional[FaultModel],
+    observer,
+) -> Stats:
+    """Detailed simulation of one interval window from a warm state."""
+    warm_start, measure_start, end = bounds
+    pad_end = min(end + spec.cooldown, len(trace))
+    pipeline = Pipeline(
+        program,
+        resequence(trace, warm_start, pad_end),
+        config,
+        fault_model=fault_model,
+        observer=observer,
+        warm_state=state,
+        measure_from=measure_start - warm_start,
+        stop_after=end - 1 - warm_start,
+    )
+    return pipeline.run()
+
+
+def run_interval(
+    program,
+    trace: Trace,
+    config: MachineConfig,
+    spec: SamplingSpec,
+    index: int,
+    fault_model: Optional[FaultModel] = None,
+    warm: bool = True,
+    observer=None,
+) -> Stats:
+    """Detailed simulation of one measurement interval, self-contained.
+
+    Builds the interval's warm state from scratch (full-trace warm +
+    prefix replay), so the call depends only on its arguments — what
+    makes interval-level jobs safe to fan out over workers in any
+    order.
+    """
+    profile = None
+    if spec.placement == "profile":
+        profile = mispredict_profile(program, trace, config)
+    bounds = select_intervals(len(trace), spec, profile)[index]
+    state = build_warm_state(program, config, trace, bounds[0], warm=warm)
+    return _run_window(
+        program, trace, config, spec, bounds, state, fault_model, observer
+    )
+
+
+def run_sampled(
+    program,
+    trace: Trace,
+    config: MachineConfig,
+    spec: SamplingSpec,
+    fault_factory: Optional[Callable[[int], Optional[FaultModel]]] = None,
+    warm: bool = True,
+) -> SampledResult:
+    """Sampled simulation of one workload, in process.
+
+    Makes a *single* functional sweep over the trace — fast-forwarding
+    through skipped regions and snapshotting the warm state at each
+    window boundary — so warming cost is paid once per run rather than
+    once per interval.  The sweep only ever sees the functional
+    replay, never the detailed runs' cache/predictor side effects, so
+    its state at any boundary equals the pure prefix fold the fan-out
+    path (:func:`run_interval`) computes independently.
+
+    Args:
+        fault_factory: optional per-interval fault-model builder
+            (called with the interval index); fault models carry live
+            RNG state, so each interval gets a fresh one — which keeps
+            in-process and fanned-out sampled runs bit-identical.
+        warm: apply the full-trace warm pass first (the ``warm=True``
+            semantics of the full-run path).
+    """
+    total = len(trace)
+    profile = None
+    if spec.placement == "profile":
+        profile = mispredict_profile(program, trace, config)
+    bounds = select_intervals(total, spec, profile)
+    sweep = WarmState(program, config)
+    if warm:
+        sweep.warm_full(trace)
+    cursor = 0
+    interval_stats: List[Stats] = []
+    for index, (warm_start, measure_start, end) in enumerate(bounds):
+        sweep.advance(trace, cursor, warm_start)
+        fault = fault_factory(index) if fault_factory else None
+        interval_stats.append(
+            _run_window(
+                program, trace, config, spec,
+                (warm_start, measure_start, end),
+                sweep.snapshot(), fault, None,
+            )
+        )
+        sweep.advance(trace, warm_start, end)
+        cursor = end
+    mispredicts = total_mispredicts = None
+    if profile is not None:
+        mispredicts = [profile[end] - profile[m0] for _, m0, end in bounds]
+        total_mispredicts = profile[-1]
+    return SampledResult(
+        spec, total, bounds, interval_stats, mispredicts, total_mispredicts
+    )

@@ -10,7 +10,64 @@ executions are accounted separately and never inflate IPC.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, Optional
+
+
+def _merge_cache_level(
+    into: Dict[str, float], other: Dict[str, Any]
+) -> None:
+    """Merge one cache/TLB stat block: sum counts, recompute rates."""
+    for key, value in other.items():
+        if key.endswith("rate"):
+            continue
+        if isinstance(value, (int, float)):
+            into[key] = into.get(key, 0) + value
+    accesses = into.get("accesses", into.get("hits", 0) + into.get("misses", 0))
+    if "misses" in into:
+        into["miss_rate"] = into["misses"] / accesses if accesses else 0.0
+
+
+def _merge_stage_metrics(
+    into: Dict[str, Any], other: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Merge two ``Stats.stage_metrics`` registries.
+
+    Tolerant of empty/missing pieces: entries written by cache versions
+    that predate a field (or runs where only one side was observed)
+    merge as if the absent piece were zero.
+    """
+    if not other:
+        return into
+    if not into:
+        return {key: _copy_json(value) for key, value in other.items()}
+    into["schema"] = max(into.get("schema", 0), other.get("schema", 0))
+    into["cycles_sampled"] = (
+        into.get("cycles_sampled", 0) + other.get("cycles_sampled", 0)
+    )
+    occupancy = into.setdefault("occupancy", {})
+    for structure, hist in other.get("occupancy", {}).items():
+        merged = occupancy.setdefault(structure, {})
+        for bin_key, count in hist.items():
+            merged[bin_key] = merged.get(bin_key, 0) + count
+    stalls = into.setdefault("stalls", {})
+    for reason, count in other.get("stalls", {}).items():
+        stalls[reason] = stalls.get(reason, 0) + count
+    if "fu_issued" in other:
+        fu = into.setdefault("fu_issued", {})
+        for stream, counts in other["fu_issued"].items():
+            merged = fu.setdefault(stream, {})
+            for unit, count in counts.items():
+                merged[unit] = merged.get(unit, 0) + count
+    return into
+
+
+def _copy_json(value: Any) -> Any:
+    """Deep copy of a JSON-shaped value (dicts/lists/scalars)."""
+    if isinstance(value, dict):
+        return {key: _copy_json(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_copy_json(item) for item in value]
+    return value
 
 
 class Stats:
@@ -136,23 +193,95 @@ class Stats:
             else 0.0
         )
 
+    # -- aggregation (the sampled-simulation merge path) -----------------
+
+    #: Counters combined by summation when merging interval Stats.
+    _SUM_FIELDS = (
+        "cycles", "committed", "fetched", "fetched_wrong_path",
+        "dispatched", "dispatched_wrong_path", "issued",
+        "issued_wrong_path", "issued_r", "squashed", "branches",
+        "cond_branches", "mispredictions", "loads", "stores",
+        "load_forwards", "ifq_empty_cycles", "ruu_full_events",
+        "lsq_full_events", "rqueue_full_events", "rqueue_moves",
+        "rqueue_occ_sum", "pr_separation_sum", "pr_separation_count",
+        "r_skipped_duty", "comparisons", "errors_detected",
+        "errors_undetected_same_event", "sdc_commits", "recoveries",
+    )
+    #: Watermarks combined by maximum.
+    _MAX_FIELDS = ("rqueue_occ_max", "pr_separation_max")
+
+    def merge(self, other: "Stats") -> "Stats":
+        """Fold another run's counters into this one, in place.
+
+        This is the aggregation path of the sampled-simulation engine
+        (:mod:`repro.uarch.sampling`): per-interval Stats merge into one
+        whole-run view.  Counters sum, watermarks take the maximum,
+        ``unrecoverable`` ORs, ``halted`` ANDs (the merged run finished
+        only if every interval did), predictor accuracy is weighted by
+        conditional-branch count, and the nested registries
+        (``fu_issues``, ``cache_stats``, ``stage_metrics`` histograms)
+        merge key-wise — tolerating entries from older cache versions
+        that lack newer fields.
+
+        Returns ``self`` so reductions can chain.
+        """
+        own_weight = self.cond_branches
+        other_weight = other.cond_branches
+        total_weight = own_weight + other_weight
+        if total_weight:
+            self.bpred_accuracy = (
+                self.bpred_accuracy * own_weight
+                + other.bpred_accuracy * other_weight
+            ) / total_weight
+        for name in self._SUM_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        for name in self._MAX_FIELDS:
+            setattr(self, name, max(getattr(self, name), getattr(other, name)))
+        self.unrecoverable = self.unrecoverable or other.unrecoverable
+        self.halted = self.halted and other.halted
+        for unit, count in (other.fu_issues or {}).items():
+            self.fu_issues[unit] = self.fu_issues.get(unit, 0) + count
+        for level, block in (other.cache_stats or {}).items():
+            _merge_cache_level(self.cache_stats.setdefault(level, {}), block)
+        self.stage_metrics = _merge_stage_metrics(
+            self.stage_metrics, other.stage_metrics or {}
+        )
+        return self
+
+    @classmethod
+    def merged(cls, runs: Iterable["Stats"]) -> "Stats":
+        """A fresh Stats holding the merge of every run in ``runs``."""
+        total = cls()
+        total.halted = True  # identity for the AND fold; empty input: True
+        for stats in runs:
+            total.merge(stats)
+        return total
+
     def state_dict(self) -> Dict[str, Any]:
         """Raw counter state only — the JSON-serialisable cache payload."""
         return {name: getattr(self, name) for name in self.__slots__}
 
     @classmethod
-    def from_dict(cls, state: Dict[str, Any]) -> "Stats":
+    def from_state_dict(cls, state: Dict[str, Any]) -> "Stats":
         """Rebuild a Stats from :meth:`state_dict` (or :meth:`to_dict`).
 
-        Unknown keys (e.g. the derived metrics ``to_dict`` adds) are
-        ignored; missing counters keep their zero defaults, so entries
-        written before a new counter was added still load.
+        Tolerant by design — this is what loads on-disk result-cache
+        entries, which may have been written by an older code version:
+        unknown keys (e.g. the derived metrics ``to_dict`` adds) are
+        ignored, missing counters keep their zero defaults, and a
+        ``None`` where a registry dict belongs (``fu_issues``,
+        ``cache_stats``, ``stage_metrics``) loads as empty instead of
+        poisoning later ``merge()`` calls with ``KeyError``/
+        ``TypeError``.
         """
         stats = cls()
         for name in cls.__slots__:
-            if name in state:
+            if name in state and state[name] is not None:
                 setattr(stats, name, state[name])
         return stats
+
+    #: Backward-compatible alias (pre-sampling name).
+    from_dict = from_state_dict
 
     def to_dict(self) -> Dict[str, Any]:
         """Flat reporting dict with counters and derived metrics."""

@@ -40,6 +40,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "fig9"])
 
+    def test_sample_flags(self):
+        args = build_parser().parse_args(
+            ["--sample", "20", "--sample-interval", "250",
+             "--sample-warmup", "60", "list"]
+        )
+        assert args.sample == 20
+        assert args.sample_interval == 250
+        assert args.sample_warmup == 60
+
+    def test_sample_defaults_off(self):
+        args = build_parser().parse_args(["list"])
+        assert args.sample is None
+        assert args.sample_interval == 300
+        assert args.sample_warmup == 50
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -83,7 +98,33 @@ class TestCommands:
         assert main(["--scale", "800", "--jobs", "2", "figure", "fig2"]) == 0
         captured = capsys.readouterr()
         assert "[parallel]" in captured.err
-        assert "[parallel]" not in captured.out
+
+    def test_bench_sampled(self, capsys):
+        assert main(["--scale", "2000", "--sample", "4",
+                     "--sample-interval", "120", "bench", "li"]) == 0
+        out = capsys.readouterr().out
+        assert "sampled 4x120" in out
+        assert "IPC ratio" in out
+
+    def test_figure_sampled_parallel_matches_sequential(self, capsys):
+        base = ["--scale", "1500", "--no-cache", "--sample", "3",
+                "--sample-interval", "100"]
+        assert main(base + ["--jobs", "1", "figure", "fig2"]) == 0
+        sequential = capsys.readouterr().out
+        assert main(base + ["--jobs", "2", "figure", "fig2"]) == 0
+        parallel = capsys.readouterr().out
+        assert sequential == parallel
+
+    def test_faults_sampled(self, capsys):
+        code = main([
+            "--scale", "1500", "--sample", "3", "--sample-interval", "100",
+            "faults", "--benchmark", "vortex", "--rate", "0.002",
+            "--duration", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "errors detected" in out
+        assert "sampled 3x100" in out
 
     def test_sweep_runs_small(self, capsys):
         assert main(["--scale", "600", "--jobs", "2", "sweep",

@@ -10,6 +10,8 @@ from repro.harness import (
     SERIES_R2A,
     SERIES_REESE,
     bench_scale,
+    env_flag,
+    env_int,
     figure2_spec,
     figure5_spec,
     figure7_specs,
@@ -71,6 +73,58 @@ class TestBenchScale:
             inspect.signature(suite.trace_for).parameters["scale"].default
             == suite_default
         )
+
+
+class TestEnvHelpers:
+    def test_env_int_unset_is_silent_default(self, monkeypatch, recwarn):
+        monkeypatch.delenv("REPRO_BENCH_JOBS", raising=False)
+        assert env_int("REPRO_BENCH_JOBS", 1) == 1
+        assert not recwarn.list
+
+    def test_env_int_valid(self, monkeypatch, recwarn):
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "8")
+        assert env_int("REPRO_BENCH_JOBS", 1) == 8
+        assert not recwarn.list
+
+    @pytest.mark.parametrize("bad", ["four", "2.5", "8 workers"])
+    def test_env_int_malformed_warns_and_defaults(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_BENCH_JOBS", bad)
+        with pytest.warns(RuntimeWarning, match="malformed REPRO_BENCH_JOBS"):
+            assert env_int("REPRO_BENCH_JOBS", 1) == 1
+
+    @pytest.mark.parametrize("bad", ["0", "-3"])
+    def test_env_int_below_minimum_warns_and_defaults(self, monkeypatch,
+                                                      bad):
+        monkeypatch.setenv("REPRO_BENCH_JOBS", bad)
+        with pytest.warns(RuntimeWarning, match="not positive"):
+            assert env_int("REPRO_BENCH_JOBS", 1) == 1
+
+    def test_env_int_custom_minimum_message(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KNOB", "1")
+        with pytest.warns(RuntimeWarning, match="below 2"):
+            assert env_int("REPRO_KNOB", 4, minimum=2) == 4
+
+    @pytest.mark.parametrize("truthy", ["1", "true", "YES", "On"])
+    def test_env_flag_truthy(self, monkeypatch, truthy):
+        monkeypatch.setenv("REPRO_BENCH_CACHE", truthy)
+        assert env_flag("REPRO_BENCH_CACHE") is True
+
+    @pytest.mark.parametrize("falsy", ["0", "false", "No", "OFF", ""])
+    def test_env_flag_falsy(self, monkeypatch, falsy):
+        monkeypatch.setenv("REPRO_BENCH_CACHE", falsy)
+        assert env_flag("REPRO_BENCH_CACHE", default=True) is False
+
+    def test_env_flag_unset_uses_default(self, monkeypatch, recwarn):
+        monkeypatch.delenv("REPRO_BENCH_CACHE", raising=False)
+        assert env_flag("REPRO_BENCH_CACHE") is False
+        assert env_flag("REPRO_BENCH_CACHE", default=True) is True
+        assert not recwarn.list
+
+    def test_env_flag_malformed_warns_and_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_CACHE", "maybe")
+        with pytest.warns(RuntimeWarning,
+                          match="malformed REPRO_BENCH_CACHE"):
+            assert env_flag("REPRO_BENCH_CACHE") is False
 
 
 class TestRunner:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.arch import emulate
 from repro.isa import assemble
-from repro.uarch import Pipeline, starting_config
+from repro.uarch import Pipeline, SimulationTimeoutError, starting_config
 from repro.workloads import kernels
 
 
@@ -225,7 +225,16 @@ class TestDeadlockGuard:
         assert stats.halted
 
     def test_max_cycles_cap(self, cfg, loop_trace):
+        # A too-small cap is an explicit error, never a silent partial
+        # result that figures could be computed over.
         program, trace = loop_trace
-        stats = Pipeline(program, trace, cfg).run(max_cycles=5)
-        assert stats.cycles <= 5
-        assert not stats.halted
+        with pytest.raises(SimulationTimeoutError) as excinfo:
+            Pipeline(program, trace, cfg).run(max_cycles=5)
+        error = excinfo.value
+        assert error.cap == 5
+        assert error.total == len(trace)
+        assert error.committed < error.total
+        # The partial Stats ride along for diagnosis.
+        assert error.stats.cycles <= 5
+        assert not error.stats.halted
+        assert "cycle cap 5 exhausted" in str(error)

@@ -104,3 +104,43 @@ class TestRoundTrip:
         rebuilt = Stats.from_dict(state)
         assert rebuilt.stage_metrics == {}
         assert rebuilt.cycles == 123
+
+    def test_from_state_dict_is_the_canonical_name(self):
+        """``from_dict`` is the backward-compatible alias."""
+        assert Stats.from_dict.__func__ is Stats.from_state_dict.__func__
+        state = self._populated().state_dict()
+        assert Stats.from_state_dict(state).state_dict() == state
+
+    def test_from_dict_ignores_unknown_keys(self):
+        """Entries from newer code versions load on older ones."""
+        state = self._populated().state_dict()
+        state["counter_from_the_future"] = 99
+        rebuilt = Stats.from_dict(state)
+        assert not hasattr(rebuilt, "counter_from_the_future")
+        assert rebuilt.cycles == 123
+
+    def test_from_dict_null_registries_load_empty_and_merge(self):
+        """A ``None`` registry (older writer) must not poison merge()."""
+        state = self._populated().state_dict()
+        state["fu_issues"] = None
+        state["cache_stats"] = None
+        state["stage_metrics"] = None
+        rebuilt = Stats.from_dict(state)
+        assert rebuilt.fu_issues == {}
+        assert rebuilt.cache_stats == {}
+        assert rebuilt.stage_metrics == {}
+        merged = Stats.merged([rebuilt, self._populated()])
+        assert merged.cycles == 2 * 123
+        assert merged.fu_issues == {"ialu": 5}
+
+    def test_merged_interval_stats_sum_counters(self):
+        """The sampling engine's merge path: counters add up."""
+        parts = [self._populated(), self._populated(), self._populated()]
+        for part in parts:
+            part.halted = True
+        merged = Stats.merged(parts)
+        assert merged.cycles == 3 * 123
+        assert merged.committed == 3 * 456
+        assert merged.fu_issues == {"ialu": 15}
+        # halted is an AND fold: all parts completed => merged did.
+        assert merged.halted
