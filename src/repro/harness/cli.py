@@ -16,6 +16,8 @@ Subcommands::
     repro-reese compare li           # baseline vs REESE vs dispatch-dup
     repro-reese analyze gcc          # static CFG/dataflow/masking report
     repro-reese lint all             # workload linter over the suite
+    repro-reese profile gcc          # top-down cycle-accounting profile
+    repro-reese profile --markdown   # same, as markdown (whole suite)
 
 ``--scale N`` (or ``REPRO_BENCH_INSTRUCTIONS``) sets dynamic
 instructions per benchmark; an explicit ``--scale`` always beats the
@@ -38,6 +40,13 @@ invariant checker (a violation aborts with a diagnostic);
 ``--trace PATH`` writes the structured event trace as JSONL — for
 commands that run several simulations, each run gets its own file with
 the run label spliced in before the extension.
+
+Profiling (see docs/INTERNALS.md §12): ``--profile`` (or
+``REPRO_PROFILE=1``) attaches the cycle-accounting profiler to every
+simulation, so results carry the top-down slot/cycle attribution; the
+``profile`` subcommand renders the full bottleneck report.
+``--telemetry PATH`` persists per-job run telemetry (wall-clock,
+cache hits, worker ids) as JSONL after each parallel run.
 """
 
 from __future__ import annotations
@@ -53,7 +62,7 @@ from ..uarch.observe import ObserveConfig
 from ..uarch.sampling import SamplingSpec
 from ..workloads.suite import BENCHMARK_ORDER, BENCHMARKS
 from . import expectations, experiments, reporting
-from .parallel import ParallelRunner
+from .parallel import ParallelRunner, SimJob
 from .runner import bench_scale, run_benchmark
 
 
@@ -64,7 +73,15 @@ def _runner_from(args) -> ParallelRunner:
         use_cache=not args.no_cache,
         observe=args.observe,
         check_invariants=args.check_invariants,
+        profile=getattr(args, "profile", False),
+        telemetry_path=getattr(args, "telemetry", None),
     )
+
+
+def _profile_flag(args) -> Optional[bool]:
+    """``--profile`` for the single-run paths: ``True`` when given,
+    ``None`` otherwise so the ``REPRO_PROFILE`` env gate still applies."""
+    return True if getattr(args, "profile", False) else None
 
 
 def _sampling_from(args) -> Optional[SamplingSpec]:
@@ -203,10 +220,12 @@ def _cmd_bench(args) -> int:
         return _cmd_bench_sampled(args, sampling)
     config = starting_config()
     base = run_benchmark(args.benchmark, config, scale=args.scale,
-                         observe=_observe_from(args, "baseline"))
+                         observe=_observe_from(args, "baseline"),
+                         profile=_profile_flag(args))
     reese = run_benchmark(args.benchmark, config.with_reese(),
                           scale=args.scale,
-                          observe=_observe_from(args, "reese"))
+                          observe=_observe_from(args, "reese"),
+                          profile=_profile_flag(args))
     print(f"{args.benchmark}: baseline {base.summary()}")
     print(f"{args.benchmark}: reese    {reese.summary()}")
     print(f"IPC ratio reese/baseline = {reese.ipc / base.ipc:.3f}")
@@ -363,7 +382,8 @@ def _cmd_compare(args) -> int:
     observed = []
     for label, model_config in models:
         stats = run_benchmark(args.benchmark, model_config, scale=args.scale,
-                              observe=_observe_from(args, label))
+                              observe=_observe_from(args, label),
+                              profile=_profile_flag(args))
         if base_ipc is None:
             base_ipc = stats.ipc
         gap = 1 - stats.ipc / base_ipc
@@ -372,6 +392,40 @@ def _cmd_compare(args) -> int:
         observed.append((label, stats))
     for label, stats in observed:
         _emit_metrics(args, label, stats)
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    """Top-down cycle-accounting profile: where did the slots go?
+
+    Runs the Baseline / REESE / R+2 ALU cells for one benchmark (or the
+    whole suite) with the cycle accountant attached and renders the
+    attribution report — the per-cause slot breakdown, the
+    REESE-vs-baseline R-share, and the detection-latency telemetry.
+    """
+    runner = _runner_from(args)
+    config = starting_config()
+    series = [
+        (experiments.SERIES_BASELINE, config),
+        (experiments.SERIES_REESE, config.with_reese()),
+        (experiments.SERIES_R2A, config.with_spares(2, 0).with_reese()),
+    ]
+    benches = (
+        BENCHMARK_ORDER if args.benchmark == "all" else [args.benchmark]
+    )
+    scale = args.scale or bench_scale()
+    jobs = [
+        SimJob(bench, cfg, scale, profile=True)
+        for bench in benches
+        for _label, cfg in series
+    ]
+    all_stats = iter(runner.run(jobs))
+    results = {
+        bench: {label: next(all_stats) for label, _cfg in series}
+        for bench in benches
+    }
+    print(reporting.profile_report(results, scale, markdown=args.markdown))
+    _emit_telemetry(runner)
     return 0
 
 
@@ -442,6 +496,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the structured event trace to PATH as JSONL "
              "(multi-run commands splice the run label into the name)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach the cycle-accounting profiler to every simulation "
+             "(top-down slot attribution + detection-latency telemetry; "
+             "same switch as REPRO_PROFILE=1)",
+    )
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="write per-job run telemetry (timings, cache hits, worker "
+             "ids) to PATH as JSONL after each parallel run",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list figures and benchmarks")
     fig = sub.add_parser("figure", help="reproduce one figure")
@@ -509,6 +577,18 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="baseline vs REESE vs dispatch-dup"
     )
     compare.add_argument("benchmark", choices=BENCHMARK_ORDER)
+    profile_cmd = sub.add_parser(
+        "profile", help="top-down cycle-accounting bottleneck profile"
+    )
+    profile_cmd.add_argument(
+        "benchmark", nargs="?", default="all",
+        choices=list(BENCHMARK_ORDER) + ["all"],
+    )
+    profile_cmd.add_argument(
+        "--markdown",
+        action="store_true",
+        help="render the report as markdown tables",
+    )
     export_cmd = sub.add_parser("export", help="export a figure (json/csv)")
     export_cmd.add_argument("figure", choices=sorted(experiments.FIGURES))
     export_cmd.add_argument("--out", default="results")
@@ -529,6 +609,7 @@ _HANDLERS = {
     "sweep": _cmd_sweep,
     "compare": _cmd_compare,
     "export": _cmd_export,
+    "profile": _cmd_profile,
 }
 
 

@@ -71,7 +71,8 @@ from ..uarch.sampling import (
 )
 from ..uarch.stats import Stats
 from ..workloads.suite import BENCHMARKS
-from .runner import _env_observe, run_model
+from .runner import _env_observe, _env_profile, run_model
+from .telemetry import write_job_telemetry
 
 #: Bump to invalidate every on-disk cache entry after a model change.
 #: v2: Stats gained ``stage_metrics`` and jobs gained observability
@@ -79,7 +80,9 @@ from .runner import _env_observe, run_model
 #: v3: jobs gained the ``sampling`` spec (every field of which changes
 #: which instructions are simulated), so sampled and full runs — and
 #: sampled runs with different specs — never share an entry.
-CACHE_VERSION = 3
+#: v4: Stats gained ``accounting`` and jobs gained the ``profile``
+#: flag (profiled runs populate the attribution account).
+CACHE_VERSION = 4
 
 #: Default on-disk cache location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -149,6 +152,11 @@ class SimJob:
     #: sampled job spawns one pipeline per interval, which the
     #: single-observer plumbing does not model.
     sampling: Optional[SamplingSpec] = None
+    #: Attach the cycle-accounting profiler: the job's Stats carry the
+    #: top-down slot/cycle attribution account and detection-latency
+    #: telemetry (``Stats.accounting``).  Sampled jobs profile each
+    #: measurement interval and merge the accounts.
+    profile: bool = False
 
     def resolved_seed(self) -> int:
         """The seed actually used (``None`` means the workload default)."""
@@ -197,6 +205,9 @@ def job_fingerprint(job: SimJob) -> str:
         "sampling": (
             dataclasses.asdict(job.sampling) if job.sampling else None
         ),
+        # Profiling likewise changes the payload (Stats.accounting):
+        # profiled and unprofiled runs never share an entry.
+        "profile": job.profile,
     }
     blob = json.dumps(payload, sort_keys=True, default=repr).encode()
     return hashlib.sha256(blob).hexdigest()
@@ -273,6 +284,10 @@ class JobRecord:
     cached: bool
     elapsed: float
     worker: int
+    #: Simulated cycles of the job's Stats (cache hits report the
+    #: cached run's count).  Defaulted so older positional callers
+    #: keep constructing records unchanged.
+    cycles: int = 0
 
 
 @dataclass
@@ -333,6 +348,7 @@ def _execute_sampled(job: SimJob, program, trace, observe) -> Stats:
             program, trace, job.config, spec, spec.index,
             fault_model=fault, warm=job.warm,
             observer=build_observability(observe),
+            profile_run=job.profile,
         )
     factory = None
     if job.fault is not None:
@@ -342,7 +358,8 @@ def _execute_sampled(job: SimJob, program, trace, observe) -> Stats:
             return interval_fault_spec(base, index).build()
 
     result = run_sampled(program, trace, job.config, spec,
-                         fault_factory=factory, warm=job.warm)
+                         fault_factory=factory, warm=job.warm,
+                         profile_run=job.profile)
     return result.stats
 
 
@@ -363,8 +380,12 @@ def _execute_job(job: SimJob) -> Tuple[Stats, float, int]:
         stats = _execute_sampled(job, program, trace, observe)
     else:
         fault = job.fault.build() if job.fault else None
+        # profile is passed explicitly (never None): the runner resolved
+        # the REPRO_PROFILE gate into the job before fingerprinting, so
+        # a worker-side env read would desynchronise payload and key.
         stats = run_model(program, trace, job.config, fault_model=fault,
-                          warm=job.warm, observe=observe)
+                          warm=job.warm, observe=observe,
+                          profile=job.profile)
     return stats, time.perf_counter() - start, os.getpid()
 
 
@@ -399,6 +420,13 @@ class ParallelRunner:
             top of each job's own ``observe`` field).
         check_invariants: run every job under the runtime invariant
             checker (likewise applied on top of per-job fields).
+        profile: attach the cycle-accounting profiler to every job
+            (applied on top of per-job fields; the ``REPRO_PROFILE``
+            environment gate is folded in here, at job level, so cache
+            fingerprints always reflect whether a run was profiled).
+        telemetry_path: after every :meth:`run`, write the per-job
+            records as an atomic JSONL file at this path (see
+            :mod:`repro.harness.telemetry`).
 
     After each :meth:`run`, :attr:`telemetry` holds the
     :class:`RunTelemetry` for that call.
@@ -411,6 +439,8 @@ class ParallelRunner:
         cache_dir: Optional[os.PathLike] = None,
         observe: bool = False,
         check_invariants: bool = False,
+        profile: bool = False,
+        telemetry_path: Optional[os.PathLike] = None,
     ) -> None:
         self.jobs = max(1, int(jobs)) if jobs else (os.cpu_count() or 1)
         self.cache: Optional[ResultCache] = (
@@ -418,17 +448,22 @@ class ParallelRunner:
         )
         self.observe = observe
         self.check_invariants = check_invariants
+        self.profile = profile or _env_profile()
+        self.telemetry_path = telemetry_path
         self.telemetry: Optional[RunTelemetry] = None
 
     def _apply_defaults(self, job: SimJob) -> SimJob:
-        """Fold runner-level observability flags into a job."""
-        if (self.observe and not job.observe) or (
-            self.check_invariants and not job.check_invariants
+        """Fold runner-level observability/profiling flags into a job."""
+        if (
+            (self.observe and not job.observe)
+            or (self.check_invariants and not job.check_invariants)
+            or (self.profile and not job.profile)
         ):
             job = dataclasses.replace(
                 job,
                 observe=job.observe or self.observe,
                 check_invariants=job.check_invariants or self.check_invariants,
+                profile=job.profile or self.profile,
             )
         return job
 
@@ -451,6 +486,7 @@ class ParallelRunner:
                 records[index] = JobRecord(
                     index, job.benchmark, job.config.name, job.scale,
                     job.resolved_seed(), True, 0.0, os.getpid(),
+                    cached.cycles,
                 )
             else:
                 pending.append(index)
@@ -469,6 +505,7 @@ class ParallelRunner:
                 records[index] = JobRecord(
                     index, job.benchmark, job.config.name, job.scale,
                     job.resolved_seed(), False, elapsed, pid,
+                    stats.cycles,
                 )
                 if self.cache:
                     self.cache.put(fingerprints[index], stats)
@@ -480,6 +517,8 @@ class ParallelRunner:
             wall_seconds=time.perf_counter() - start,
             records=[record for record in records if record is not None],
         )
+        if self.telemetry_path is not None:
+            write_job_telemetry(self.telemetry_path, self.telemetry)
         return [stats for stats in results if stats is not None]
 
 

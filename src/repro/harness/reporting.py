@@ -10,6 +10,13 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Sequence
 
 from ..analysis import AnalysisResult, CLASSES
+from ..uarch.accounting import (
+    SLOT_CAUSES,
+    accounting_identity_errors,
+    latency_summary,
+    merge_accounting,
+    r_share_of_delta,
+)
 from ..uarch.observe import occupancy_mean
 from ..uarch.stats import Stats
 from .campaign import OUTCOMES, SiteCampaignResult
@@ -168,16 +175,23 @@ def metrics_report(stats: Stats) -> str:
     metrics = stats.stage_metrics
     if not metrics:
         return "(no stage metrics: run was not observed)"
-    lines = [f"stage metrics over {metrics['cycles_sampled']} cycles"]
+    lines = [f"stage metrics over {metrics.get('cycles_sampled', 0)} cycles"]
     rows: List[List[str]] = [["structure", "mean occ", "max occ"]]
-    for key, hist in metrics["occupancy"].items():
+    for key, hist in metrics.get("occupancy", {}).items():
         peak = max((int(occ) for occ in hist), default=0)
         rows.append([key, f"{occupancy_mean(hist):.2f}", str(peak)])
     lines.append(format_table(rows))
     stalls = ", ".join(
-        f"{key}={count}" for key, count in metrics["stalls"].items()
+        f"{key}={count}" for key, count in metrics.get("stalls", {}).items()
     )
     lines.append(f"stalls: {stalls}")
+    dropped = metrics.get("dropped_events", 0)
+    if dropped:
+        lines.append(
+            f"WARNING: {dropped} trace event(s) overwritten in the ring "
+            f"buffer before the dump (raise ring_size or narrow the "
+            f"event filter; the trace tail is complete, its head is not)"
+        )
     fu = metrics.get("fu_issued")
     if fu:
         for stream in ("P", "R"):
@@ -261,6 +275,136 @@ def site_campaign_report(result: SiteCampaignResult) -> str:
         lines += [f"  {record.render()}" for record in result.mismatches]
     else:
         lines.append("oracle: 0 mismatches")
+    return "\n".join(lines)
+
+
+def markdown_table(rows: Sequence[Sequence[str]]) -> str:
+    """Render rows as a GitHub-flavoured markdown pipe table."""
+    if not rows:
+        return ""
+    lines = [
+        "| " + " | ".join(str(cell) for cell in rows[0]) + " |",
+        "|" + "|".join(" --- " for _ in rows[0]) + "|",
+    ]
+    for row in rows[1:]:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def _slot_rows(
+    accounts: Mapping[str, Mapping], labels: Sequence[str]
+) -> List[List[str]]:
+    """Top-down slot-attribution rows: one per cause, one column per
+    series, each cell ``count (share)``.  All-zero causes are elided so
+    a baseline column does not list REESE-only causes."""
+    rows: List[List[str]] = [["cause"] + list(labels)]
+    totals = {
+        label: accounts[label].get("slots_total", 0) or 1 for label in labels
+    }
+    for cause in SLOT_CAUSES:
+        counts = {
+            label: accounts[label].get("slots", {}).get(cause, 0)
+            for label in labels
+        }
+        if not any(counts.values()):
+            continue
+        rows.append([cause] + [
+            f"{counts[label]} ({counts[label] / totals[label]:.1%})"
+            for label in labels
+        ])
+    return rows
+
+
+def profile_report(
+    results: Mapping[str, Mapping[str, Stats]],
+    scale: int,
+    markdown: bool = False,
+) -> str:
+    """Top-down cycle-accounting profile across benchmarks and series.
+
+    Args:
+        results: benchmark -> series label -> profiled Stats (i.e. run
+            with the cycle accountant attached, so ``Stats.accounting``
+            is populated).
+        scale: dynamic instructions per benchmark (header line only).
+        markdown: render pipe tables + headings instead of aligned
+            monospace tables.
+
+    The report shows, per benchmark and for the suite aggregate, where
+    every issue slot went (one cause per slot, so columns sum to
+    width x cycles); then the REESE-minus-baseline slot delta and how
+    much of it is attributable to R-stream causes — the quantified form
+    of the paper's §6 claim that the slowdown *is* R contention — and
+    the detection-latency telemetry the paper's §2 coverage argument
+    needs.  Ends with the accounting-identity verdict over every
+    (benchmark, series) cell.
+    """
+    table = markdown_table if markdown else format_table
+    heading = (
+        f"cycle-accounting profile "
+        f"({scale} dynamic instructions per benchmark; "
+        f"slot columns sum to issue width x cycles)"
+    )
+    lines = [f"## {heading}" if markdown else heading]
+    suite: Dict[str, Dict] = {}
+    identity_errors: List[str] = []
+    cells = 0
+    for bench, series in results.items():
+        labels = list(series.keys())
+        accounts = {label: series[label].accounting or {} for label in labels}
+        for label in labels:
+            cells += 1
+            suite[label] = merge_accounting(
+                suite.get(label, {}), accounts[label]
+            )
+            identity_errors += [
+                f"{bench}/{label}: {error}"
+                for error in accounting_identity_errors(accounts[label])
+            ]
+        ipc_bits = ", ".join(
+            f"{label} IPC {series[label].ipc:.3f}" for label in labels
+        )
+        lines.append("")
+        if markdown:
+            lines += [f"### {bench}", "", ipc_bits, ""]
+        else:
+            lines.append(f"{bench}: {ipc_bits}")
+        lines.append(table(_slot_rows(accounts, labels)))
+    if suite:
+        labels = list(suite.keys())
+        lines.append("")
+        if markdown:
+            lines += ["### suite aggregate", ""]
+        else:
+            lines.append("suite aggregate:")
+        lines.append(table(_slot_rows(suite, labels)))
+    if SERIES_BASELINE in suite and SERIES_REESE in suite:
+        r_delta, total_delta = r_share_of_delta(
+            suite[SERIES_BASELINE], suite[SERIES_REESE]
+        )
+        share = r_delta / total_delta if total_delta else 0.0
+        lines += [
+            "",
+            f"REESE-minus-baseline slot delta: {total_delta} slots lost, "
+            f"{r_delta} ({share:.1%}) attributable to R-stream causes",
+        ]
+    if SERIES_REESE in suite:
+        summary = latency_summary(suite[SERIES_REESE])
+        det = summary["detect_latency"]
+        res = summary["rqueue_residency"]
+        lines += [
+            f"detection latency (queue insert -> R-verify): "
+            f"n={det['count']}, mean={det['mean']:.2f}, p50={det['p50']}, "
+            f"p99={det['p99']}, max={det['max']} cycles",
+            f"R-queue residency (insert -> final commit): "
+            f"n={res['count']}, mean={res['mean']:.2f}, p50={res['p50']}, "
+            f"p99={res['p99']}, max={res['max']} cycles",
+        ]
+    if identity_errors:
+        lines.append("accounting identity: VIOLATED")
+        lines += [f"  {error}" for error in identity_errors]
+    else:
+        lines.append(f"accounting identity: OK on {cells}/{cells} cells")
     return "\n".join(lines)
 
 

@@ -21,6 +21,7 @@ from typing import Optional
 from ..arch.trace import Trace
 from ..isa.program import Program
 from ..reese.faults import FaultModel, NoFaults
+from ..uarch.accounting import CycleAccountant
 from ..uarch.config import MachineConfig
 from ..uarch.observe import ObserveConfig, build_observability
 from ..uarch.pipeline import Pipeline
@@ -123,6 +124,19 @@ def _env_observe(fault_model: Optional[FaultModel]) -> Optional[ObserveConfig]:
     return ObserveConfig(check_invariants=True)
 
 
+def _env_profile() -> bool:
+    """The ``REPRO_PROFILE`` profiling gate.
+
+    When set, every harness-driven simulation attaches the cycle-
+    accounting profiler (:mod:`repro.uarch.accounting`), so
+    ``Stats.accounting`` carries the top-down slot/cycle attribution
+    and detection-latency telemetry.  Mirrors the
+    ``REPRO_CHECK_INVARIANTS`` gate; the CLI's ``--profile`` flag is
+    the per-invocation spelling of the same switch.
+    """
+    return env_flag("REPRO_PROFILE", False)
+
+
 def run_model(
     program: Program,
     trace: Trace,
@@ -131,6 +145,7 @@ def run_model(
     warm: bool = True,
     max_cycles: Optional[int] = None,
     observe: Optional[ObserveConfig] = None,
+    profile: Optional[bool] = None,
 ) -> Stats:
     """Simulate one program trace on one machine configuration.
 
@@ -139,9 +154,18 @@ def run_model(
             per-stage metrics, invariant checker); ``None`` keeps the
             observer-free fast path unless ``REPRO_CHECK_INVARIANTS``
             is set in the environment (see :func:`_env_observe`).
+        profile: attach the cycle-accounting profiler so the returned
+            Stats carry the top-down attribution account
+            (``Stats.accounting``).  ``None`` defers to the
+            ``REPRO_PROFILE`` environment gate; an explicit ``False``
+            keeps the profiler off regardless (what the parallel layer
+            passes, having already resolved the gate at job level so
+            cache fingerprints stay honest).
     """
     if observe is None:
         observe = _env_observe(fault_model)
+    if profile is None:
+        profile = _env_profile()
     pipeline = Pipeline(
         program,
         trace,
@@ -150,6 +174,7 @@ def run_model(
         warm_caches=warm,
         warm_predictor=warm,
         observer=build_observability(observe),
+        accountant=CycleAccountant() if profile else None,
     )
     return pipeline.run(max_cycles=max_cycles)
 
@@ -162,11 +187,12 @@ def run_benchmark(
     fault_model: Optional[FaultModel] = None,
     warm: bool = True,
     observe: Optional[ObserveConfig] = None,
+    profile: Optional[bool] = None,
 ) -> Stats:
     """Simulate one named benchmark on one machine configuration."""
     program, trace = trace_for(name, scale or bench_scale(), seed)
     return run_model(program, trace, config, fault_model=fault_model,
-                     warm=warm, observe=observe)
+                     warm=warm, observe=observe, profile=profile)
 
 
 def run_sampled_benchmark(

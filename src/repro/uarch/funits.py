@@ -50,8 +50,18 @@ class FUPool:
             "fpmultdiv": [0] * config.fp_mult,
             "mem": [0] * config.mem_ports,
         }
-        # FUClass -> (pool, oplat, issuelat); mem uses oplat 0 sentinel.
-        self._dispatch: Dict[int, Tuple[List[int], int, int]] = {}
+        # Per-pool "this unit's current occupancy is R-stream work, and
+        # it holds the unit until <cycle>" watermarks — only maintained
+        # when :attr:`track_streams` is on (the cycle-accounting
+        # profiler), so the default path never writes them.
+        self._r_until: Dict[str, List[int]] = {
+            key: [0] * len(pool) for key, pool in self._pools.items()
+        }
+        #: Record which stream holds each busy unit (profiling only).
+        self.track_streams = False
+        # FUClass -> (pool, r_until, oplat, issuelat); mem uses oplat 0
+        # sentinel.
+        self._dispatch: Dict[int, Tuple[List[int], List[int], int, int]] = {}
         for fu_class, (pool_key, op_attr, issue_attr) in self._OP_MAP.items():
             pool = self._pools[pool_key]
             if fu_class is FUClass.MEM_PORT:
@@ -59,7 +69,9 @@ class FUPool:
             else:
                 oplat = getattr(lat, op_attr)
                 issuelat = getattr(lat, issue_attr)
-            self._dispatch[int(fu_class)] = (pool, oplat, issuelat)
+            self._dispatch[int(fu_class)] = (
+                pool, self._r_until[pool_key], oplat, issuelat,
+            )
         self.issues: Dict[str, int] = {key: 0 for key in self._pools}
         #: R-stream-only slice of :attr:`issues` (REESE re-executions
         #: and dispatch-duplication shadow copies), for the per-stage
@@ -69,20 +81,45 @@ class FUPool:
             key: key for key in self._pools
         }
 
-    def acquire(self, fu_class: FUClass, cycle: int) -> Optional[int]:
+    def acquire(
+        self, fu_class: FUClass, cycle: int, r_stream: bool = False
+    ) -> Optional[int]:
         """Try to start an operation of ``fu_class`` at ``cycle``.
+
+        Args:
+            r_stream: the acquiring operation belongs to the redundant
+                stream; only consulted when :attr:`track_streams` is on
+                (so :meth:`blame` can say which stream holds a busy
+                unit).
 
         Returns:
             The operation latency (0 for memory ports, whose latency the
             caller computes from the cache model), or ``None`` if every
             unit of the class is busy this cycle.
         """
-        pool, oplat, issuelat = self._dispatch[int(fu_class)]
+        pool, r_until, oplat, issuelat = self._dispatch[int(fu_class)]
         for index, next_free in enumerate(pool):
             if next_free <= cycle:
                 pool[index] = cycle + issuelat
+                if self.track_streams:
+                    r_until[index] = cycle + issuelat if r_stream else 0
                 return oplat
         return None
+
+    def blame(self, fu_class: FUClass, cycle: int) -> str:
+        """Which stream to blame for a failed acquire of ``fu_class``.
+
+        ``"R"`` when any currently-busy unit of the class is held by an
+        R-stream operation (without REESE that unit would have been
+        free, so the conflict is R-induced), ``"P"`` otherwise.  Only
+        meaningful right after an acquire returned ``None`` with
+        :attr:`track_streams` on.
+        """
+        pool, r_until, _, _ = self._dispatch[int(fu_class)]
+        for index, next_free in enumerate(pool):
+            if next_free > cycle and r_until[index] >= next_free:
+                return "R"
+        return "P"
 
     def available(self, fu_class: FUClass, cycle: int) -> int:
         """Number of units of the class free to accept an op this cycle."""

@@ -49,6 +49,7 @@ for every unfaulted harness run (the tier-1 smoke configuration).
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
@@ -159,7 +160,14 @@ class EventSink:
 
 
 class RingBufferSink(EventSink):
-    """Keep the most recent ``capacity`` events in memory."""
+    """Keep the most recent ``capacity`` events in memory.
+
+    Overflow is not silent: every overwritten event increments
+    :attr:`dropped`, which :class:`Observability` surfaces as
+    ``stage_metrics["dropped_events"]`` (hence ``Stats.state_dict()``)
+    and the metrics report turns into an explicit warning — a
+    truncated event window must never masquerade as a complete one.
+    """
 
     def __init__(self, capacity: int = 4096) -> None:
         if capacity <= 0:
@@ -168,6 +176,8 @@ class RingBufferSink(EventSink):
         self._buffer: List[TraceEvent] = []
         self._cursor = 0
         self.total = 0
+        #: Events overwritten (lost) to capacity overflow.
+        self.dropped = 0
 
     def emit(self, event: TraceEvent) -> None:
         self.total += 1
@@ -176,6 +186,7 @@ class RingBufferSink(EventSink):
         else:
             self._buffer[self._cursor] = event
             self._cursor = (self._cursor + 1) % self.capacity
+            self.dropped += 1
 
     def events(self) -> List[TraceEvent]:
         """Buffered events, oldest first."""
@@ -183,16 +194,25 @@ class RingBufferSink(EventSink):
 
 
 class JSONLSink(EventSink):
-    """Write one canonical JSON line per event.
+    """Write one canonical JSON line per event, atomically.
 
     Output is deterministic (sorted keys, no floats, no timestamps), so
     two runs of the same simulation produce byte-identical files — the
     property the golden-trace regression tests pin.
+
+    The file appears atomically: lines stream to ``<path>.tmp`` and
+    only a successful :meth:`close` flushes, fsyncs and renames it to
+    ``path``.  A worker killed mid-run leaves at most a stale ``.tmp``
+    behind — never a truncated half-line file at the final path that a
+    later golden-trace comparison would read as a real (and baffling)
+    mismatch.
     """
 
     def __init__(self, path) -> None:
         self.path = path
-        self._file = open(path, "w", encoding="utf-8", newline="\n")
+        self._tmp_path = f"{path}.tmp"
+        self._file = open(self._tmp_path, "w", encoding="utf-8",
+                          newline="\n")
         self.lines = 0
 
     def emit(self, event: TraceEvent) -> None:
@@ -202,7 +222,10 @@ class JSONLSink(EventSink):
 
     def close(self) -> None:
         if not self._file.closed:
+            self._file.flush()
+            os.fsync(self._file.fileno())
             self._file.close()
+            os.replace(self._tmp_path, self.path)
 
 
 class CallbackSink(EventSink):
@@ -678,9 +701,26 @@ class Observability:
         if self.checker is not None:
             self.checker.on_cycle(pipe)
 
+    def _ring_sinks(self) -> List[RingBufferSink]:
+        """Ring-buffer sinks reachable through the tracer (if any)."""
+        if self.tracer is None:
+            return []
+        sink = self.tracer.sink
+        sinks = sink.sinks if isinstance(sink, _TeeSink) else [sink]
+        return [s for s in sinks if isinstance(s, RingBufferSink)]
+
     def finalize(self, stats) -> None:
         if self.metrics is not None:
             stats.stage_metrics = self.metrics.state_dict(self._pipe)
+        rings = self._ring_sinks()
+        if rings:
+            # Surface ring-buffer overflow in the Stats payload even
+            # when the metrics registry is off: dropped events are a
+            # property of the run, not of the registry.
+            stats.stage_metrics = dict(stats.stage_metrics or {})
+            stats.stage_metrics["dropped_events"] = sum(
+                ring.dropped for ring in rings
+            )
         if self.tracer is not None:
             self.tracer.finalize(stats)
 

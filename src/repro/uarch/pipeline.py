@@ -206,6 +206,7 @@ class Pipeline:
         warm_state=None,
         measure_from: Optional[int] = None,
         stop_after: Optional[int] = None,
+        accountant=None,
     ) -> None:
         """
         Args:
@@ -247,6 +248,13 @@ class Pipeline:
                 warm-up instructions ahead of a measurement interval
                 without polluting its numbers.  ``None`` measures the
                 whole run.
+            accountant: optional
+                :class:`repro.uarch.accounting.CycleAccountant`; when
+                given, every stage reports issue/stall facts to it and
+                the end of every cycle settles the top-down slot/cycle
+                attribution cascade.  ``None`` (the default) keeps the
+                profiler-free fast path: every hook site is a single
+                ``is not None`` test.
             stop_after: trace seq whose commit ends the run — younger
                 trace instructions are fetched/executed (keeping the
                 machine realistically busy behind the measured window)
@@ -269,6 +277,10 @@ class Pipeline:
         self.stats = Stats()
 
         self.fupool = FUPool(config)
+        self.accountant = accountant
+        if accountant is not None:
+            accountant.bind(self)
+            self.fupool.track_streams = True
         if warm_state is not None:
             self.warm_caches = False
             self.warm_predictor = False
@@ -368,6 +380,7 @@ class Pipeline:
         last_commit_cycle = 0
         last_committed = 0
         on_cycle = self._on_cycle  # hoisted: fixed for the whole run
+        acct = self.accountant     # hoisted: fixed for the whole run
 
         while not self._done and self.cycle < cap:
             self._commit()
@@ -377,6 +390,8 @@ class Pipeline:
             self._fetch()
             if on_cycle is not None:
                 on_cycle(self)  # end-of-cycle state, pre-increment
+            if acct is not None:
+                acct.on_cycle(self)  # settle the attribution cascade
             self.cycle += 1
             self.stats.cycles += 1
             if self.reese_on:
@@ -437,6 +452,8 @@ class Pipeline:
             self.fupool.issues[key] = 0
         for key in self.fupool.issues_r:
             self.fupool.issues_r[key] = 0
+        if self.accountant is not None:
+            self.accountant.reset()
 
     def _finalize(self) -> Stats:
         stats = self.stats
@@ -444,6 +461,8 @@ class Pipeline:
         stats.bpred_accuracy = self.predictor.accuracy
         stats.fu_issues = dict(self.fupool.issues)
         stats.cache_stats = self.mem.stat_dict()
+        if self.accountant is not None:
+            stats.accounting = self.accountant.state_dict()
         finalize = getattr(self.observer, "finalize", None)
         if finalize is not None:
             finalize(stats)
@@ -577,6 +596,7 @@ class Pipeline:
         budget = self.config.commit_width
         rqueue = self.rqueue
         observer = self.observer
+        acct = self.accountant
         while budget:
             rentry = rqueue.committable(self.commit_seq)
             if rentry is None:
@@ -612,6 +632,8 @@ class Pipeline:
                 if rentry.lsq_entry is not None:
                     self._lsq_remove(rentry.lsq_entry)
             rqueue.pop(rentry.seq)
+            if acct is not None:
+                acct.record_residency(self.cycle - rentry.inserted_cycle)
             self.retry.record_success(rentry.seq)
             if observer is not None:
                 observer.notify(
@@ -648,6 +670,8 @@ class Pipeline:
                 break
             if rqueue.free_slots <= older_unmoved:
                 self.stats.rqueue_full_events += 1
+                if acct is not None:
+                    acct.cyc_rqueue_block = True
                 break
             self._move_to_rqueue(entry)
             ruu.pop(index)
@@ -713,6 +737,8 @@ class Pipeline:
         self.rq_epoch += 1
         if self.rqueue is not None:
             self.rqueue.clear()
+        if self.accountant is not None:
+            self.accountant.note_flush()
         self.wp_active = False
         self.wp_index = -1
         self.fetch_cursor = refetch_cursor
@@ -764,6 +790,8 @@ class Pipeline:
         self.stats.pr_separation_count += 1
         if separation > self.stats.pr_separation_max:
             self.stats.pr_separation_max = separation
+        if self.accountant is not None:
+            self.accountant.record_detect(separation)
         r_val = reese_reexecute(rentry.dyn)
         bit = self.fault_model.sample(self.cycle)
         if bit is not None and r_val is not None:
@@ -817,6 +845,8 @@ class Pipeline:
         self.fetch_blocked_until = max(self.fetch_blocked_until, self.cycle + 1)
         self._last_fetch_line = -1
         branch.mispredicted = False
+        if self.accountant is not None:
+            self.accountant.note_mispredict()
 
     # ==================================================================
     # issue
@@ -842,6 +872,7 @@ class Pipeline:
         leftover: List[_Entry] = []
         cycle = self.cycle
         observer = self.observer
+        acct = self.accountant
         for entry in self.ready:
             if entry.squashed or entry.issued:
                 continue
@@ -861,6 +892,13 @@ class Pipeline:
                 self.stats.issued_wrong_path += 1
             if entry.is_shadow:
                 self.stats.issued_r += 1  # redundant copy (dispatch dup)
+            if acct is not None:
+                if entry.wrong_path:
+                    acct.cyc_issued_wp += 1
+                elif entry.is_shadow:
+                    acct.cyc_issued_r += 1
+                else:
+                    acct.cyc_issued_p += 1
             budget -= 1
         self.ready = leftover
         return budget
@@ -872,8 +910,13 @@ class Pipeline:
             return 1
         if entry.is_load:
             return self._try_issue_load(entry, cycle)
-        grant = self.fupool.acquire(entry.fu, cycle)
+        grant = self.fupool.acquire(entry.fu, cycle, entry.is_shadow)
         if grant is None:
+            acct = self.accountant
+            if acct is not None:
+                acct.note_fu_block(
+                    self.fupool.blame(entry.fu, cycle), entry.is_shadow
+                )
             return None
         self.fupool.record_issue(entry.fu, entry.is_shadow)
         return max(1, grant)
@@ -898,8 +941,14 @@ class Pipeline:
         if forward:
             self.stats.load_forwards += 1
             return 1  # store-to-load forwarding inside the LSQ
-        grant = self.fupool.acquire(FUClass.MEM_PORT, cycle)
+        grant = self.fupool.acquire(FUClass.MEM_PORT, cycle, entry.is_shadow)
         if grant is None:
+            acct = self.accountant
+            if acct is not None:
+                acct.note_fu_block(
+                    self.fupool.blame(FUClass.MEM_PORT, cycle),
+                    entry.is_shadow,
+                )
             return None
         self.fupool.record_issue(FUClass.MEM_PORT, entry.is_shadow)
         if entry.wrong_path or ea is None:
@@ -910,11 +959,14 @@ class Pipeline:
         cycle = self.cycle
         rqueue = self.rqueue
         observer = self.observer
+        acct = self.accountant
         for rentry in rqueue.waiting_entries():
             if not budget:
                 break
-            grant = self.fupool.acquire(rentry.fu, cycle)
+            grant = self.fupool.acquire(rentry.fu, cycle, True)
             if grant is None:
+                if acct is not None:
+                    acct.cyc_fu_block_r += 1
                 continue  # FU busy: skip — R entries are independent
             self.fupool.record_issue(rentry.fu, True)
             if rentry.fu is FUClass.MEM_PORT:
@@ -928,6 +980,8 @@ class Pipeline:
                     "r_issue", cycle, trace_seq=rentry.seq, rentry=rentry
                 )
             self.stats.issued_r += 1
+            if acct is not None:
+                acct.cyc_issued_r += 1
             budget -= 1
         return budget
 
@@ -950,6 +1004,7 @@ class Pipeline:
         ruu_size = self.config.ruu_size
         lsq_size = self.config.lsq_size
         ifq = self.ifq
+        acct = self.accountant
         while budget and ifq:
             entry = ifq[0]
             duplicate = (
@@ -961,9 +1016,13 @@ class Pipeline:
             slots_needed = 2 if duplicate else 1
             if len(self.ruu) > ruu_size - slots_needed:
                 self.stats.ruu_full_events += 1
+                if acct is not None:
+                    acct.cyc_dispatch_block = "ruu"
                 break
             if entry.is_mem and len(self.lsq) > lsq_size - slots_needed:
                 self.stats.lsq_full_events += 1
+                if acct is not None:
+                    acct.cyc_dispatch_block = "lsq"
                 break
             if duplicate and budget < 2:
                 break  # original and duplicate dispatch together

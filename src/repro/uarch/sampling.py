@@ -89,6 +89,7 @@ from ..isa.instructions import Op
 from ..isa.registers import REG_RA
 from ..memhier.hierarchy import MemoryHierarchy
 from ..reese.faults import FaultModel
+from .accounting import CycleAccountant
 from .config import MachineConfig
 from .pipeline import Pipeline
 from .stats import Stats
@@ -690,6 +691,7 @@ def _run_window(
     state: WarmState,
     fault_model: Optional[FaultModel],
     observer,
+    accountant=None,
 ) -> Stats:
     """Detailed simulation of one interval window from a warm state."""
     warm_start, measure_start, end = bounds
@@ -703,6 +705,7 @@ def _run_window(
         warm_state=state,
         measure_from=measure_start - warm_start,
         stop_after=end - 1 - warm_start,
+        accountant=accountant,
     )
     return pipeline.run()
 
@@ -716,6 +719,7 @@ def run_interval(
     fault_model: Optional[FaultModel] = None,
     warm: bool = True,
     observer=None,
+    profile_run: bool = False,
 ) -> Stats:
     """Detailed simulation of one measurement interval, self-contained.
 
@@ -723,14 +727,23 @@ def run_interval(
     prefix replay), so the call depends only on its arguments — what
     makes interval-level jobs safe to fan out over workers in any
     order.
+
+    Args:
+        profile_run: attach a fresh
+            :class:`~repro.uarch.accounting.CycleAccountant` so the
+            interval's Stats carry a slot/cycle attribution account
+            covering exactly the measured window (the accountant
+            resets with every other counter at ``measure_from``).
     """
     profile = None
     if spec.placement == "profile":
         profile = mispredict_profile(program, trace, config)
     bounds = select_intervals(len(trace), spec, profile)[index]
     state = build_warm_state(program, config, trace, bounds[0], warm=warm)
+    accountant = CycleAccountant() if profile_run else None
     return _run_window(
-        program, trace, config, spec, bounds, state, fault_model, observer
+        program, trace, config, spec, bounds, state, fault_model, observer,
+        accountant=accountant,
     )
 
 
@@ -741,6 +754,7 @@ def run_sampled(
     spec: SamplingSpec,
     fault_factory: Optional[Callable[[int], Optional[FaultModel]]] = None,
     warm: bool = True,
+    profile_run: bool = False,
 ) -> SampledResult:
     """Sampled simulation of one workload, in process.
 
@@ -759,6 +773,11 @@ def run_sampled(
             in-process and fanned-out sampled runs bit-identical.
         warm: apply the full-trace warm pass first (the ``warm=True``
             semantics of the full-run path).
+        profile_run: attach a fresh accountant to every interval; the
+            aggregate view's attribution account is the sum of the
+            per-interval accounts (``Stats.merge``), under which the
+            completeness identities survive because each interval
+            satisfies them individually.
     """
     total = len(trace)
     profile = None
@@ -773,11 +792,13 @@ def run_sampled(
     for index, (warm_start, measure_start, end) in enumerate(bounds):
         sweep.advance(trace, cursor, warm_start)
         fault = fault_factory(index) if fault_factory else None
+        accountant = CycleAccountant() if profile_run else None
         interval_stats.append(
             _run_window(
                 program, trace, config, spec,
                 (warm_start, measure_start, end),
                 sweep.snapshot(), fault, None,
+                accountant=accountant,
             )
         )
         sweep.advance(trace, warm_start, end)

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, Optional
 
+from .accounting import latency_summary, merge_accounting
+
 
 def _merge_cache_level(
     into: Dict[str, float], other: Dict[str, Any]
@@ -52,6 +54,10 @@ def _merge_stage_metrics(
     stalls = into.setdefault("stalls", {})
     for reason, count in other.get("stalls", {}).items():
         stalls[reason] = stalls.get(reason, 0) + count
+    if "dropped_events" in into or "dropped_events" in other:
+        into["dropped_events"] = (
+            into.get("dropped_events", 0) + other.get("dropped_events", 0)
+        )
     if "fu_issued" in other:
         fu = into.setdefault("fu_issued", {})
         for stream, counts in other["fu_issued"].items():
@@ -112,6 +118,7 @@ class Stats:
         "fu_issues",
         "cache_stats",
         "stage_metrics",
+        "accounting",
     )
 
     def __init__(self) -> None:
@@ -158,6 +165,11 @@ class Stats:
         #: otherwise.  JSON-serialisable by construction, so it rides
         #: the on-disk result cache with every other counter.
         self.stage_metrics: Dict[str, Any] = {}
+        #: Top-down cycle/slot attribution account — populated only
+        #: when the run was profiled
+        #: (:class:`repro.uarch.accounting.CycleAccountant`), empty
+        #: otherwise.  JSON-serialisable; rides the result cache.
+        self.accounting: Dict[str, Any] = {}
 
     # -- derived metrics -------------------------------------------------
 
@@ -192,6 +204,16 @@ class Stats:
             if self.pr_separation_count
             else 0.0
         )
+
+    def detection_latency(self) -> Dict[str, Dict[str, float]]:
+        """mean/p50/p99/max of the REESE detection-latency telemetry.
+
+        Summarises the two lag histograms of :attr:`accounting`
+        (``detect_latency``: queue insertion -> R-verify;
+        ``rqueue_residency``: queue insertion -> final commit).  All
+        zeros when the run was not profiled or not REESE.
+        """
+        return latency_summary(self.accounting)
 
     # -- aggregation (the sampled-simulation merge path) -----------------
 
@@ -245,6 +267,9 @@ class Stats:
             _merge_cache_level(self.cache_stats.setdefault(level, {}), block)
         self.stage_metrics = _merge_stage_metrics(
             self.stage_metrics, other.stage_metrics or {}
+        )
+        self.accounting = merge_accounting(
+            self.accounting, other.accounting or {}
         )
         return self
 

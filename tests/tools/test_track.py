@@ -1,0 +1,114 @@
+"""Self-tests for benchmarks/track.py (the trajectory tracker).
+
+The collector itself runs the full profiled suite (exercised by the CI
+trajectory step at tiny scale); here we pin the pure pieces — schema
+validation, the append-with-validation discipline, and atomicity of
+the history rewrite.
+"""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_SCRIPT = (
+    pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "track.py"
+)
+_spec = importlib.util.spec_from_file_location("bench_track", _SCRIPT)
+bench_track = importlib.util.module_from_spec(_spec)
+sys.modules["bench_track"] = bench_track
+_spec.loader.exec_module(bench_track)
+
+
+def _entry(**overrides):
+    entry = {
+        "label": "test",
+        "timestamp": "2026-08-06T00:00:00+00:00",
+        "git_rev": "abc1234",
+        "scale": 400,
+        "benchmarks": {
+            "go": {"baseline_ipc": 3.0, "reese_ipc": 2.2, "r2a_ipc": 2.8,
+                   "reese_gap": 0.27, "r2a_gap": 0.07},
+        },
+        "suite": {
+            "r_share": 0.97,
+            "slots_lost": 12345,
+            "top_causes": [["fu_busy_r", 9000], ["issued_r", 3000]],
+            "detect_latency": {"count": 100, "mean": 6.9, "p50": 7,
+                               "p99": 13, "max": 14},
+        },
+    }
+    entry.update(overrides)
+    return entry
+
+
+class TestValidate:
+    def test_valid_document(self):
+        data = {"schema": bench_track.TRAJECTORY_SCHEMA_VERSION,
+                "entries": [_entry()]}
+        assert bench_track.validate_trajectory(data) == []
+
+    def test_empty_document_is_valid(self):
+        data = {"schema": bench_track.TRAJECTORY_SCHEMA_VERSION,
+                "entries": []}
+        assert bench_track.validate_trajectory(data) == []
+
+    def test_wrong_schema(self):
+        errors = bench_track.validate_trajectory(
+            {"schema": 99, "entries": []}
+        )
+        assert any("schema" in e for e in errors)
+
+    def test_missing_entry_keys(self):
+        entry = _entry()
+        del entry["suite"]
+        data = {"schema": 1, "entries": [entry]}
+        assert any("missing 'suite'" in e
+                   for e in bench_track.validate_trajectory(data))
+
+    def test_missing_bench_keys_and_bad_share(self):
+        entry = _entry()
+        del entry["benchmarks"]["go"]["reese_gap"]
+        entry["suite"]["r_share"] = 1.5
+        errors = bench_track.validate_trajectory(
+            {"schema": 1, "entries": [entry]}
+        )
+        assert any("reese_gap" in e for e in errors)
+        assert any("outside [0, 1]" in e for e in errors)
+
+
+class TestAppend:
+    def test_initialises_and_appends(self, tmp_path):
+        path = tmp_path / "BENCH_TRAJECTORY.json"
+        assert bench_track.append_entry(path, _entry()) == 1
+        assert bench_track.append_entry(path, _entry(label="second")) == 2
+        data = json.loads(path.read_text())
+        assert [e["label"] for e in data["entries"]] == ["test", "second"]
+        assert not [p for p in tmp_path.iterdir() if ".tmp" in p.name]
+
+    def test_refuses_invalid_entry(self, tmp_path):
+        path = tmp_path / "BENCH_TRAJECTORY.json"
+        bench_track.append_entry(path, _entry())
+        bad = _entry()
+        del bad["suite"]["r_share"]
+        with pytest.raises(ValueError, match="refusing"):
+            bench_track.append_entry(path, bad)
+        # The existing history survives the refused write untouched.
+        assert len(json.loads(path.read_text())["entries"]) == 1
+
+    def test_validate_cli_paths(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        assert bench_track.main(["--validate", "--path", str(path)]) == 1
+        bench_track.append_entry(path, _entry())
+        assert bench_track.main(["--validate", "--path", str(path)]) == 0
+        assert "OK (1 entries)" in capsys.readouterr().out
+
+
+class TestCheckedInTrajectory:
+    def test_repo_file_validates(self):
+        """The committed BENCH_TRAJECTORY.json must satisfy its schema."""
+        data = bench_track.load_trajectory(bench_track.DEFAULT_PATH)
+        assert bench_track.validate_trajectory(data) == []
+        assert data["entries"], "seed entry missing"
